@@ -1,0 +1,89 @@
+"""Figure 4 — Scalability of the positional map.
+
+Paper setup (§5.1.1): the file grows from 2 GB to 92 GB two ways — by
+appending rows and by adding attributes — with queries adjusted so every
+configuration does similar work per byte. Claim: execution time grows
+*linearly* with file size in both directions.
+
+This bench is also the justification for running everything else at
+laptop scale: virtual time is linear in file size, so shapes measured
+on MB-scale files transfer to the paper's GB-scale ones.
+"""
+
+import random
+
+from figshared import header, micro_engine, table
+
+from repro import PostgresRawConfig, VirtualFS
+from repro.workloads.queries import random_projection_query
+
+QUERIES = 10
+BASE_ROWS = 400
+BASE_ATTRS = 25
+
+
+def average_time(rows, nattrs, attrs_per_query):
+    """Average PM-assisted query time. Cache off (this is the §5.1.1
+    positional-map experiment) so scan work scales with file bytes."""
+    vfs = VirtualFS()
+    config = PostgresRawConfig(enable_statistics=False,
+                               enable_cache=False,
+                               row_block_size=256)
+    engine = micro_engine(vfs, rows, nattrs, config)
+    rng = random.Random(7)
+    times = []
+    for _ in range(QUERIES):
+        sql = random_projection_query(rng, "m", nattrs, attrs_per_query)
+        times.append(engine.query(sql).elapsed)
+    return sum(times) / len(times), vfs.size("m.csv")
+
+
+def test_fig04_scalability_by_rows(benchmark):
+    scales = [1, 2, 4, 8]
+    results = []
+    for scale in scales:
+        avg, size = average_time(BASE_ROWS * scale, BASE_ATTRS,
+                                 BASE_ATTRS // 2)
+        results.append((scale, size, avg))
+
+    header("Figure 4a: scalability — growing the file by rows",
+           "execution time scales linearly with file size")
+    table(["scale", "file bytes", "avg query time (s)"],
+          [list(r) for r in results])
+
+    base_time = results[0][2]
+    for scale, _size, avg in results[1:]:
+        ratio = avg / base_time
+        assert 0.7 * scale <= ratio <= 1.4 * scale, (
+            f"time at {scale}x rows should be ~{scale}x, got {ratio:.2f}x")
+
+    benchmark.pedantic(average_time, args=(BASE_ROWS, BASE_ATTRS, 5),
+                       rounds=1, iterations=1)
+
+
+def test_fig04_scalability_by_attributes(benchmark):
+    # Growing width: queries project proportionally more attributes, the
+    # paper's "incrementally add more projection attributes" protocol.
+    scales = [1, 2, 4, 8]
+    results = []
+    for scale in scales:
+        # The paper "incrementally adds more projection attributes" so
+        # every configuration does similar work per byte: project a
+        # fixed fraction of the (growing) width.
+        avg, size = average_time(BASE_ROWS, BASE_ATTRS * scale,
+                                 (BASE_ATTRS * scale) // 2)
+        results.append((scale, size, avg))
+
+    header("Figure 4b: scalability — growing the file by attributes",
+           "execution time scales linearly with file size")
+    table(["scale", "file bytes", "avg query time (s)"],
+          [list(r) for r in results])
+
+    base_time = results[0][2]
+    for scale, _size, avg in results[1:]:
+        ratio = avg / base_time
+        assert 0.6 * scale <= ratio <= 1.6 * scale, (
+            f"time at {scale}x attrs should be ~{scale}x, got {ratio:.2f}x")
+
+    benchmark.pedantic(average_time, args=(BASE_ROWS, BASE_ATTRS * 2, 10),
+                       rounds=1, iterations=1)

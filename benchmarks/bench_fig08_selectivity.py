@@ -1,0 +1,115 @@
+"""Figure 8 — Per-query response time vs (a) selectivity and (b)
+projectivity.
+
+Paper setup (§5.1.4): loaded comparators query pre-loaded data (load
+time excluded, buffer caches cold); PostgresRaw queries raw files. The
+first query is 100%/100% — PostgresRaw's worst case (empty map+cache),
+merely ~2.3x slower than PostgreSQL. Claims:
+
+* PostgresRaw outperforms PostgreSQL on every query after the first,
+  despite in-situ access and the same executor;
+* everyone improves as selectivity/projectivity decreases;
+* PostgresRaw's margin *grows* as projectivity decreases (it brings
+  only useful attribute values into the CPU caches).
+"""
+
+from figshared import (
+    DBMS_X_PROFILE,
+    MYSQL_PROFILE,
+    header,
+    loaded_engine,
+    micro_engine,
+    table,
+)
+
+from repro import VirtualFS
+from repro.workloads.micro import generate_micro_csv
+from repro.workloads.queries import selectivity_query
+
+ROWS = 1500
+ATTRS = 40
+
+SELECTIVITY_STEPS = [1.0, 1.0, 0.8, 0.6, 0.4, 0.2, 0.01]
+PROJECTIVITY_STEPS = [1.0, 1.0, 0.8, 0.6, 0.5, 0.4, 0.2, 0.1]
+
+
+def build():
+    vfs = VirtualFS()
+    generate_micro_csv(vfs, "m.csv", ROWS, ATTRS, seed=23)
+    raw = micro_engine(vfs, ROWS, ATTRS)
+    postgres, _ = loaded_engine(vfs, ATTRS)
+    dbms_x, _ = loaded_engine(vfs, ATTRS, DBMS_X_PROFILE)
+    mysql, _ = loaded_engine(vfs, ATTRS, MYSQL_PROFILE)
+    # "buffer caches are cold, however": loaded engines restart after
+    # loading; the OS cache keeps the raw file warm for everyone.
+    postgres.restart()
+    dbms_x.restart()
+    mysql.restart()
+    return {"PostgresRaw PM+C": raw, "PostgreSQL": postgres,
+            "DBMS X": dbms_x, "MySQL": mysql}
+
+
+def sweep(steps, vary):
+    engines = build()
+    series = {name: [] for name in engines}
+    for step in steps:
+        sel, proj = (step, 1.0) if vary == "selectivity" else (1.0, step)
+        sql = selectivity_query("m", ATTRS, sel, proj)
+        for name, engine in engines.items():
+            series[name].append(engine.query(sql).elapsed)
+    return series
+
+
+def print_series(title, claim, steps, series, label):
+    header(title, claim)
+    rows = []
+    for i, step in enumerate(steps):
+        rows.append([f"Q{i + 1}: {step:.0%}"]
+                    + [series[name][i] for name in series])
+    table([label] + list(series), rows)
+
+
+def check_common_shape(series, steps):
+    raw = series["PostgresRaw PM+C"]
+    postgres = series["PostgreSQL"]
+    # (a) Worst case first query: raw pays full parse, 1.5-4x slower
+    # than PostgreSQL over loaded data (paper: 2.3x).
+    ratio = raw[0] / postgres[0]
+    assert 1.3 <= ratio <= 4.5, f"first-query ratio {ratio:.2f}"
+    # (b) After the first query PostgresRaw is competitive or better.
+    wins = sum(1 for i in range(1, len(steps)) if raw[i] <= postgres[i])
+    assert wins >= (len(steps) - 1) * 0.7
+    # (c) Everyone speeds up as the sweep descends.
+    for name in series:
+        assert series[name][-1] < series[name][1]
+
+
+def test_fig08a_selectivity(benchmark):
+    series = sweep(SELECTIVITY_STEPS, "selectivity")
+    print_series(
+        "Figure 8a: response time vs selectivity (projectivity 100%)",
+        "raw worst-case ~2.3x on Q1, then PostgresRaw wins; all improve "
+        "with lower selectivity", SELECTIVITY_STEPS, series,
+        "selectivity")
+    check_common_shape(series, SELECTIVITY_STEPS)
+    benchmark.pedantic(sweep, args=(SELECTIVITY_STEPS, "selectivity"),
+                       rounds=1, iterations=1)
+
+
+def test_fig08b_projectivity(benchmark):
+    series = sweep(PROJECTIVITY_STEPS, "projectivity")
+    print_series(
+        "Figure 8b: response time vs projectivity (selectivity 100%)",
+        "same first-query worst case; PostgresRaw's margin grows as "
+        "projectivity drops", PROJECTIVITY_STEPS, series, "projectivity")
+    check_common_shape(series, PROJECTIVITY_STEPS)
+    # The paper's extra claim for (b): the PostgresRaw:PostgreSQL gap
+    # widens as projectivity decreases.
+    raw = series["PostgresRaw PM+C"]
+    postgres = series["PostgreSQL"]
+    margin_high = postgres[1] / raw[1]      # 100% projectivity, warm
+    margin_low = postgres[-1] / raw[-1]     # 10% projectivity
+    assert margin_low > margin_high, (
+        f"margin should grow: {margin_high:.2f} -> {margin_low:.2f}")
+    benchmark.pedantic(sweep, args=(PROJECTIVITY_STEPS[:3], "projectivity"),
+                       rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""§5.1 setup parity — the micro-benchmark file generator.
+
+The paper's file: "a raw data file of 11 GB, containing 7.5*10^6
+tuples. Each tuple contains 150 attributes with integers distributed
+randomly in the range [0-10^9)". That works out to ~1.47 KB/row
+(~9.8 bytes per value incl. delimiter). This bench checks our scaled
+generator matches those densities, so byte-level costs transfer.
+"""
+
+import statistics
+
+from figshared import header, micro_engine, table
+
+from repro import VirtualFS
+from repro.workloads.micro import generate_micro_csv
+
+PAPER_BYTES_PER_ROW = 11e9 / 7.5e6        # ~1467
+PAPER_BYTES_PER_VALUE = PAPER_BYTES_PER_ROW / 150
+
+
+def test_micro_generator_parity(benchmark):
+    vfs = VirtualFS()
+    generate_micro_csv(vfs, "m.csv", rows=2000, nattrs=150, seed=0)
+    size = vfs.size("m.csv")
+    bytes_per_row = size / 2000
+    bytes_per_value = bytes_per_row / 150
+
+    header("Micro-file parity with the paper's §5.1 dataset",
+           "11 GB / 7.5M rows / 150 int attrs -> ~1.47 KB/row")
+    table(["metric", "paper", "ours"],
+          [["bytes/row", PAPER_BYTES_PER_ROW, bytes_per_row],
+           ["bytes/value", PAPER_BYTES_PER_VALUE, bytes_per_value]])
+
+    assert abs(bytes_per_row - PAPER_BYTES_PER_ROW) < 0.15 * \
+        PAPER_BYTES_PER_ROW
+    assert abs(bytes_per_value - PAPER_BYTES_PER_VALUE) < 0.15 * \
+        PAPER_BYTES_PER_VALUE
+
+    # Values must span the paper's domain.
+    first_line = vfs.read_bytes("m.csv").split(b"\n", 1)[0]
+    values = [int(v) for v in first_line.split(b",")]
+    assert all(0 <= v < 10 ** 9 for v in values)
+
+    benchmark.pedantic(
+        generate_micro_csv, args=(VirtualFS(), "m.csv", 500, 150),
+        rounds=1, iterations=1)
+
+
+def test_micro_scan_throughput_counters(benchmark):
+    """Sanity: one full scan touches each byte/value exactly once."""
+    vfs = VirtualFS()
+    engine = micro_engine(vfs, 500, 30)
+    engine.query("SELECT " + ", ".join(f"a{i}" for i in range(1, 31))
+                 + " FROM m")
+    counters = engine.counters()
+    size = vfs.size("m.csv")
+
+    header("Scan cost-counter sanity (single full scan)",
+           "bytes read ~ file size; conversions = rows x attrs")
+    table(["counter", "value", "expected"],
+          [["disk bytes", counters["disk_read_cold"]
+            + counters.get("disk_read_warm", 0), size],
+           ["newline_scan", counters["newline_scan"], size],
+           ["convert_int", counters["convert_int"], 500 * 30],
+           ["tuple_overhead", counters["tuple_overhead"], 500]])
+
+    read = counters["disk_read_cold"] + counters.get("disk_read_warm", 0)
+    assert read == size
+    assert counters["newline_scan"] == size
+    assert counters["convert_int"] == 500 * 30
+    assert counters["tuple_overhead"] == 500
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,16 @@
+"""Benchmark fixtures (pytest-benchmark)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow `import figshared` from bench modules when run as
+# `pytest benchmarks/`.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(scope="session")
+def show_output(pytestconfig):
+    """Benches print paper-vs-measured tables; -s shows them live."""
+    return pytestconfig.getoption("capture") == "no"

@@ -1,0 +1,56 @@
+"""Workload drift: watching PostgresRaw adapt (Figure 6's story).
+
+A 5-epoch query stream moves its focus across the columns of a wide
+file; the engine's cache and positional map follow it around under a
+fixed memory budget, stabilizing each time the workload does.
+
+Run:  python examples/adaptive_workload.py
+"""
+
+from repro import PostgresRaw, PostgresRawConfig, VirtualFS
+from repro.workloads.micro import generate_micro_csv
+from repro.workloads.queries import epoch_queries
+
+ROWS = 1500
+ATTRS = 60
+QUERIES_PER_EPOCH = 12
+
+
+def main() -> None:
+    vfs = VirtualFS()
+    schema = generate_micro_csv(vfs, "wide.csv", ROWS, ATTRS, seed=3)
+
+    config = PostgresRawConfig(
+        row_block_size=256,
+        cache_budget_bytes=400_000,   # forces eviction when drifting
+        pm_budget_bytes=150_000,
+    )
+    db = PostgresRaw(config=config, vfs=vfs)
+    db.register_csv("wide", "wide.csv", schema)
+
+    # Fig 6's epochs: region shifts, returns, then straddles old/new.
+    epochs = [(1, 20), (21, 40), (1, 40), (30, 50), (35, 55)]
+    queries = epoch_queries("wide", ATTRS, epochs, QUERIES_PER_EPOCH,
+                            attrs_per_query=5, seed=0)
+
+    cache = db.cache_of("wide")
+    print(f"{'epoch':<7}{'query':<7}{'time':>10}{'cache use':>12}"
+          f"{'evictions':>11}")
+    for i, q in enumerate(queries):
+        epoch = i // QUERIES_PER_EPOCH + 1
+        result = db.query(q)
+        if i % QUERIES_PER_EPOCH in (0, QUERIES_PER_EPOCH - 1):
+            print(f"{epoch:<7}{i + 1:<7}{result.elapsed:>9.4f}s"
+                  f"{cache.utilization():>11.0%}{cache.evictions:>11}")
+        if (i + 1) % QUERIES_PER_EPOCH == 0:
+            columns = epochs[epoch - 1]
+            print(f"       -- epoch {epoch} done (columns "
+                  f"{columns[0]}-{columns[1]})")
+
+    print("\nthe engine kept answering from the cache whenever the "
+          "workload revisited known columns, and paid raw-file costs "
+          "only when it drifted — Figure 6's behaviour.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro: a full reproduction of *NoDB: Efficient Query Execution on Raw
+Data Files* (Alagiannis et al., SIGMOD 2012).
+
+Quickstart::
+
+    from repro import PostgresRaw, Schema, INTEGER, varchar
+    from repro.storage import VirtualFS
+
+    vfs = VirtualFS()
+    vfs.create("people.csv", b"1,alice\\n2,bob\\n")
+    db = PostgresRaw(vfs=vfs)
+    db.register_csv("people", "people.csv",
+                    Schema([("id", INTEGER), ("name", varchar())]))
+    result = db.query("SELECT name FROM people WHERE id = 2")
+    assert result.rows == [("bob",)]
+
+See DESIGN.md for the system map and EXPERIMENTS.md for the
+paper-figure reproductions under benchmarks/.
+"""
+
+from repro.core.cache import BinaryCache
+from repro.core.config import PostgresRawConfig
+from repro.core.engine import PostgresRaw
+from repro.core.positional_map import PositionalMap
+from repro.core.prewarm import FsInterfacePrewarmer
+from repro.core.tuner import IdleTuner, TuningReport
+from repro.engines.base import Database
+from repro.engines.cfitsio import CFitsioProgram
+from repro.engines.external import ExternalFilesDBMS
+from repro.engines.loaded import LoadedDBMS
+from repro.errors import ReproError
+from repro.simcost.clock import CostEvent, VirtualClock
+from repro.simcost.model import CostModel
+from repro.simcost.profiles import (
+    CFITSIO_PROFILE,
+    CSV_ENGINE_PROFILE,
+    DBMS_X_EXTERNAL_PROFILE,
+    DBMS_X_PROFILE,
+    MYSQL_PROFILE,
+    POSTGRESQL_PROFILE,
+    POSTGRES_RAW_PROFILE,
+    CostProfile,
+)
+from repro.sql.catalog import Column, Schema, TableInfo, TableKind
+from repro.sql.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    DataType,
+    char,
+    decimal,
+    varchar,
+)
+from repro.sql.executor import QueryResult
+from repro.storage.vfs import OSPageCache, VirtualFS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # engines
+    "PostgresRaw", "PostgresRawConfig", "LoadedDBMS", "ExternalFilesDBMS",
+    "CFitsioProgram", "Database",
+    # core structures
+    "PositionalMap", "BinaryCache", "IdleTuner", "TuningReport",
+    "FsInterfacePrewarmer",
+    # catalog / types
+    "Schema", "Column", "TableInfo", "TableKind", "DataType",
+    "INTEGER", "BIGINT", "FLOAT", "DATE", "BOOLEAN",
+    "varchar", "char", "decimal",
+    # results
+    "QueryResult",
+    # cost model
+    "VirtualClock", "CostModel", "CostEvent", "CostProfile",
+    "POSTGRES_RAW_PROFILE", "POSTGRESQL_PROFILE", "DBMS_X_PROFILE",
+    "MYSQL_PROFILE", "CSV_ENGINE_PROFILE", "DBMS_X_EXTERNAL_PROFILE",
+    "CFITSIO_PROFILE",
+    # storage
+    "VirtualFS", "OSPageCache",
+    # errors
+    "ReproError",
+]

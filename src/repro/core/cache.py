@@ -1,0 +1,179 @@
+"""The PostgresRaw binary cache (§4.3).
+
+Holds previously converted (binary) values so future queries can skip
+both raw-file access and data-type conversion. Organized like the
+positional map — per attribute, per row block — "such that it is easy to
+integrate it in the PostgresRaw query flow". Blocks may be *partial*
+("a previously accessed attribute or even parts of an attribute"):
+selective parsing converts only qualifying tuples, and the cache keeps a
+validity mask per block.
+
+Eviction is LRU with **conversion-cost priority**: "the PostgresRaw
+cache always gives priority to attributes more costly to convert", so
+cheap-to-reconvert families (strings) are evicted before expensive ones
+(dates, floats, ints).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.simcost.model import CostModel
+
+#: Per-value byte footprint by type family (strings measured per value).
+_FIXED_BYTES = {"int": 8, "float": 8, "date": 4, "bool": 1}
+
+
+def _value_bytes(family: str, value) -> int:
+    if family in _FIXED_BYTES:
+        return _FIXED_BYTES[family]
+    return len(value) + 1 if isinstance(value, str) else 8
+
+
+@dataclass
+class CacheBlock:
+    """Converted values of one attribute over one row block."""
+
+    family: str
+    values: list = field(default_factory=list)
+    mask: bytearray = field(default_factory=bytearray)
+    bytes_used: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.mask) and all(self.mask)
+
+    @property
+    def filled(self) -> int:
+        return sum(self.mask)
+
+    def get(self, row_in_block: int):
+        """``(present, value)`` for a row — present=False means a miss."""
+        if row_in_block < len(self.mask) and self.mask[row_in_block]:
+            return True, self.values[row_in_block]
+        return False, None
+
+
+class BinaryCache:
+    """LRU cache of :class:`CacheBlock` keyed by ``(attr, block)``."""
+
+    def __init__(self, model: CostModel, budget_bytes: int | None = None):
+        self.model = model
+        self.budget_bytes = budget_bytes
+        self._blocks: OrderedDict[tuple[int, int], CacheBlock] = OrderedDict()
+        self._bytes = 0
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get(self, attr: int, block: int) -> CacheBlock | None:
+        """The cache block for ``(attr, block)``, refreshing LRU order.
+
+        Reading values out of the block is charged by the caller via
+        ``model.cache_read`` — only it knows how many values it uses.
+        """
+        cache_block = self._blocks.get((attr, block))
+        if cache_block is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._blocks.move_to_end((attr, block))
+        return cache_block
+
+    def put(self, attr: int, block: int, rows_in_block: int,
+            entries: list[tuple[int, object]], family: str) -> None:
+        """Merge converted values into the block.
+
+        ``entries`` is a list of ``(row_in_block, value)``. Values already
+        present are left untouched (they are equal by construction — the
+        file has not changed; updates invalidate whole tables instead).
+        """
+        if not entries:
+            return
+        key = (attr, block)
+        cache_block = self._blocks.get(key)
+        if cache_block is None:
+            cache_block = CacheBlock(
+                family=family,
+                values=[None] * rows_in_block,
+                mask=bytearray(rows_in_block),
+            )
+            self._blocks[key] = cache_block
+        elif len(cache_block.mask) < rows_in_block:
+            # The block grew (file append, §4.5): widen in place.
+            grow = rows_in_block - len(cache_block.mask)
+            cache_block.values.extend([None] * grow)
+            cache_block.mask.extend(bytearray(grow))
+        added = 0
+        for row_in_block, value in entries:
+            if row_in_block >= rows_in_block:
+                raise StorageError(
+                    f"row {row_in_block} outside block of {rows_in_block}")
+            if cache_block.mask[row_in_block]:
+                continue
+            cache_block.values[row_in_block] = value
+            cache_block.mask[row_in_block] = 1
+            delta = _value_bytes(family, value)
+            cache_block.bytes_used += delta
+            self._bytes += delta
+            added += 1
+        if added:
+            self.model.cache_write(added)
+        self._blocks.move_to_end(key)
+        self._enforce_budget()
+
+    # ------------------------------------------------------------------
+    def _enforce_budget(self) -> None:
+        if self.budget_bytes is None:
+            return
+        while self._bytes > self.budget_bytes and self._blocks:
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        """Evict the least-valuable block: cheapest conversion family
+        first (strings before ints before floats/dates), LRU within a
+        family."""
+        victim_key = None
+        victim_rate = None
+        for key in self._blocks:  # OrderedDict: LRU -> MRU
+            rate = self._family_rate(self._blocks[key].family)
+            if victim_rate is None or rate < victim_rate:
+                victim_key = key
+                victim_rate = rate
+        block = self._blocks.pop(victim_key)
+        self._bytes -= block.bytes_used
+        self.evictions += 1
+
+    def _family_rate(self, family: str) -> float:
+        profile = self.model.profile
+        return {
+            "str": profile.convert_str,
+            "bool": profile.convert_int,
+            "int": profile.convert_int,
+            "float": profile.convert_float,
+            "date": profile.convert_date,
+        }.get(family, profile.convert_str)
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def utilization(self) -> float:
+        """Fraction of the budget in use (Fig 6's right axis); 0 when the
+        budget is unlimited and the cache is empty."""
+        if self.budget_bytes:
+            return self._bytes / self.budget_bytes
+        return 1.0 if self._bytes else 0.0
+
+    def invalidate_attr(self, attr: int) -> None:
+        stale = [key for key in self._blocks if key[0] == attr]
+        for key in stale:
+            self._bytes -= self._blocks.pop(key).bytes_used
+
+    def clear(self) -> None:
+        self._blocks.clear()
+        self._bytes = 0

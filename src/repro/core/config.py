@@ -1,0 +1,71 @@
+"""PostgresRaw configuration knobs.
+
+Defaults follow the paper's prototype: positional map, cache and
+statistics all enabled, unlimited budgets (the experiments that sweep
+budgets set them explicitly), 1024-row horizontal chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetError
+from repro.formats.csvfmt import DEFAULT_DIALECT, CsvDialect
+
+
+@dataclass
+class PostgresRawConfig:
+    """Tuning knobs for a PostgresRaw engine instance.
+
+    Attributes
+    ----------
+    enable_positional_map / enable_cache / enable_statistics:
+        Feature switches for the Fig 5 / Fig 12 ablations.
+    pm_budget_bytes:
+        Storage threshold for the positional map (§4.2 Maintenance);
+        ``None`` = unlimited. LRU eviction keeps the map within budget.
+    pm_spill_enabled / pm_spill_path:
+        When enabled, chunks evicted from the map are written to the VFS
+        under ``pm_spill_path`` instead of discarded, and can be read
+        back at I/O cost (§4.2 Maintenance, second paragraph).
+    cache_budget_bytes:
+        Storage threshold for the binary cache (§4.3); ``None`` =
+        unlimited. LRU with conversion-cost priority.
+    row_block_size:
+        Rows per horizontal chunk — the unit of PM chunking, caching and
+        prefetching. "Each chunk fits comfortably in the CPU caches."
+    eager_prefix_indexing:
+        §4.2 Map Population: "if a query requires attributes in positions
+        10 and 15, all positions from 1 to 15 may be kept". When True,
+        every attribute tokenized on the way to a requested one is also
+        added to the map (as part of the query's chunk group).
+    index_new_combinations:
+        §4.2 Adaptive Behavior: index a query's attribute combination as
+        a new vertical chunk when its attributes currently live in
+        different chunks.
+    stats_sample_target:
+        Reservoir size per column for on-the-fly statistics (§4.4).
+    """
+
+    enable_positional_map: bool = True
+    enable_cache: bool = True
+    enable_statistics: bool = True
+    pm_budget_bytes: int | None = None
+    pm_spill_enabled: bool = False
+    pm_spill_path: str = "__pm_spill__"
+    cache_budget_bytes: int | None = None
+    row_block_size: int = 1024
+    eager_prefix_indexing: bool = False
+    index_new_combinations: bool = True
+    stats_sample_target: int = 1000
+    dialect: CsvDialect = field(default_factory=lambda: DEFAULT_DIALECT)
+
+    def __post_init__(self) -> None:
+        if self.row_block_size <= 0:
+            raise BudgetError("row_block_size must be positive")
+        if self.pm_budget_bytes is not None and self.pm_budget_bytes <= 0:
+            raise BudgetError("pm_budget_bytes must be positive or None")
+        if self.cache_budget_bytes is not None and self.cache_budget_bytes <= 0:
+            raise BudgetError("cache_budget_bytes must be positive or None")
+        if self.stats_sample_target <= 0:
+            raise BudgetError("stats_sample_target must be positive")

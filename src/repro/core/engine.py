@@ -1,0 +1,144 @@
+"""PostgresRaw: the NoDB engine (§4).
+
+Tables are registered, never loaded: ``register_csv`` / ``register_fits``
+record the schema and bind an in-situ access method; the first query
+touches the raw file. Each raw CSV table owns a positional map and a
+binary cache (per the configuration); FITS tables own a cache.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import BinaryCache
+from repro.core.config import PostgresRawConfig
+from repro.core.fits_scan import RawFitsAccess
+from repro.core.positional_map import PositionalMap
+from repro.core.prewarm import FsInterfacePrewarmer
+from repro.core.scan import RawCsvAccess
+from repro.engines.base import Database
+from repro.errors import CatalogError
+from repro.formats.fits import parse_fits_from_vfs
+from repro.simcost.profiles import POSTGRES_RAW_PROFILE, CostProfile
+from repro.sql.catalog import Schema, TableInfo, TableKind
+from repro.storage.vfs import VirtualFS
+
+
+class PostgresRaw(Database):
+    """The paper's prototype: a row-store DBMS querying raw files in situ."""
+
+    def __init__(self, config: PostgresRawConfig | None = None,
+                 vfs: VirtualFS | None = None,
+                 profile: CostProfile = POSTGRES_RAW_PROFILE):
+        super().__init__(profile, vfs)
+        self.config = config if config is not None else PostgresRawConfig()
+        self.use_statistics = self.config.enable_statistics
+
+    # ------------------------------------------------------------------
+    def register_csv(self, name: str, csv_path: str, schema: Schema,
+                     ) -> TableInfo:
+        """Declare an in-situ CSV table (instant: no data is touched).
+
+        The paper's usage model (§3.1): the user declares the schema and
+        marks the table as in situ; everything else is adaptive.
+        """
+        if not self.vfs.exists(csv_path):
+            raise CatalogError(f"raw file does not exist: {csv_path!r}")
+        config = self.config
+        positional_map = None
+        if config.enable_positional_map or config.enable_cache:
+            # Cache-only mode still keeps the "minimal map" of line ends
+            # (§5.1.2); attribute chunks are gated inside the scan.
+            positional_map = PositionalMap(
+                self.model, schema.arity,
+                row_block_size=config.row_block_size,
+                budget_bytes=config.pm_budget_bytes,
+                spill_vfs=self.vfs if config.pm_spill_enabled else None,
+                spill_prefix=f"{config.pm_spill_path}/{name.lower()}",
+            )
+        cache = (BinaryCache(self.model, config.cache_budget_bytes)
+                 if config.enable_cache else None)
+        info = TableInfo(name=name, schema=schema, kind=TableKind.RAW_CSV,
+                         path=csv_path)
+        info.access = RawCsvAccess(self.vfs, csv_path, schema, self.model,
+                                   config, info, positional_map, cache)
+        self.catalog.register(info)
+        return info
+
+    # ------------------------------------------------------------------
+    # §7 File System Interface
+    # ------------------------------------------------------------------
+    def enable_fs_interface(self, table: str) -> FsInterfacePrewarmer:
+        """Watch the table's raw file through the file-system layer:
+        reads by *other* programs opportunistically extend the line
+        index (§7 "File System Interface")."""
+        info = self.catalog.get(table)
+        positional_map = self.positional_map_of(table)
+        if positional_map is None:
+            raise CatalogError(
+                f"table {info.name!r} keeps no positional map; nothing "
+                "to prewarm")
+        existing = info.extra.get("prewarmer")
+        if existing is not None:
+            return existing
+        prewarmer = FsInterfacePrewarmer(self.vfs, info.path,
+                                         positional_map, self.model)
+        prewarmer.attach()
+        info.extra["prewarmer"] = prewarmer
+        return prewarmer
+
+    def disable_fs_interface(self, table: str) -> None:
+        info = self.catalog.get(table)
+        prewarmer = info.extra.pop("prewarmer", None)
+        if prewarmer is not None:
+            prewarmer.detach()
+
+    def register_fits(self, name: str, fits_path: str) -> TableInfo:
+        """Declare an in-situ FITS binary table. The schema comes from
+        the file's own header — no user declaration needed."""
+        if not self.vfs.exists(fits_path):
+            raise CatalogError(f"raw file does not exist: {fits_path!r}")
+        fits = parse_fits_from_vfs(self.vfs, fits_path)
+        cache = (BinaryCache(self.model, self.config.cache_budget_bytes)
+                 if self.config.enable_cache else None)
+        info = TableInfo(name=name, schema=fits.schema,
+                         kind=TableKind.RAW_FITS, path=fits_path)
+        info.access = RawFitsAccess(self.vfs, fits_path, fits, self.model,
+                                    self.config, info, cache)
+        self.catalog.register(info)
+        return info
+
+    def add_file(self, name: str, csv_path: str, schema: Schema,
+                 ) -> TableInfo:
+        """§4.5: a newly added data file is immediately queryable —
+        synonym for :meth:`register_csv`, kept for the paper's
+        vocabulary."""
+        return self.register_csv(name, csv_path, schema)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by experiments and examples)
+    # ------------------------------------------------------------------
+    def positional_map_of(self, table: str) -> PositionalMap | None:
+        access = self.catalog.get(table).access
+        return getattr(access, "pm", None)
+
+    def cache_of(self, table: str) -> BinaryCache | None:
+        access = self.catalog.get(table).access
+        return getattr(access, "cache", None)
+
+    def auxiliary_bytes(self, table: str) -> dict[str, int]:
+        """Current footprint of the table's auxiliary structures."""
+        positional_map = self.positional_map_of(table)
+        cache = self.cache_of(table)
+        return {
+            "positional_map": positional_map.bytes_used if positional_map
+            else 0,
+            "cache": cache.bytes_used if cache else 0,
+        }
+
+    def drop_auxiliary(self, table: str) -> None:
+        """Drop the table's map and cache (always safe, §4.2)."""
+        positional_map = self.positional_map_of(table)
+        if positional_map is not None:
+            positional_map.drop()
+        cache = self.cache_of(table)
+        if cache is not None:
+            cache.clear()

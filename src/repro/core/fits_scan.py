@@ -1,0 +1,155 @@
+"""RawFitsAccess: in-situ scans over FITS binary tables (§5.3).
+
+Binary tables need no tokenizing and no type conversion — attribute
+offsets are fixed — so the positional map is unnecessary. What remains
+is I/O and deserialization, which makes the binary cache the dominant
+mechanism: "techniques such as caching become more important".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.cache import BinaryCache
+from repro.core.config import PostgresRawConfig
+from repro.core.statistics import StatsCollector
+from repro.formats.fits import FitsTableInfo
+from repro.simcost.model import CostModel
+from repro.sql.catalog import Schema, TableInfo
+from repro.sql.scanapi import ScanPredicate
+from repro.sql.stats import TableStats
+from repro.storage.vfs import VirtualFS
+
+
+class RawFitsAccess:
+    """Access method for one in-situ FITS binary table."""
+
+    def __init__(self, vfs: VirtualFS, path: str, fits: FitsTableInfo,
+                 model: CostModel, config: PostgresRawConfig,
+                 table_info: TableInfo, cache: BinaryCache | None):
+        self.vfs = vfs
+        self.path = path
+        self.fits = fits
+        self.model = model
+        self.config = config
+        self.table_info = table_info
+        self.cache = cache
+        self.schema: Schema = fits.schema
+        self._families = [t.family for t in self.schema.types]
+        self.queries_executed = 0
+        #: workload knowledge for the §7 idle tuner: attr -> request count
+        self.attr_request_counts: dict[int, int] = {}
+
+    def estimated_rows(self) -> int | None:
+        return self.fits.nrows
+
+    # ------------------------------------------------------------------
+    def scan(self, needed: Sequence[int],
+             predicate: ScanPredicate | None) -> Iterator[tuple]:
+        self.queries_executed += 1
+        model = self.model
+        fits = self.fits
+        out_attrs = list(needed)
+        where_attrs = list(predicate.attrs) if predicate else []
+        union_attrs = sorted(set(out_attrs) | set(where_attrs))
+        for attr in union_attrs:
+            self.attr_request_counts[attr] = \
+                self.attr_request_counts.get(attr, 0) + 1
+        n_terms = predicate.n_terms if predicate else 0
+        block_size = self.config.row_block_size
+        nrows = fits.nrows
+        columns = fits.columns
+
+        collector = None
+        if self.config.enable_statistics:
+            existing = self.table_info.stats
+            missing = [
+                attr for attr in union_attrs
+                if existing is None
+                or not existing.has_column(self.schema.columns[attr].name)
+            ]
+            if missing:
+                collector = StatsCollector(
+                    model, self.schema, missing,
+                    self.config.stats_sample_target,
+                    seed=self.queries_executed)
+
+        handle = self.vfs.open(self.path, model, notify=False)
+
+        row = 0
+        while row < nrows:
+            block = row // block_size
+            block_end = min((block + 1) * block_size, nrows)
+            rows_in_block = block_end - row
+
+            cached = {}
+            if self.cache is not None:
+                for attr in union_attrs:
+                    cached[attr] = self.cache.get(attr, block)
+
+            def covered(attr: int, idx: int) -> bool:
+                cache_block = cached.get(attr)
+                return bool(cache_block and idx < len(cache_block.mask)
+                            and cache_block.mask[idx])
+
+            # Read a contiguous row range for any row missing any needed
+            # attribute (binary rows are fixed width: one sequential read).
+            need_file = [idx for idx in range(rows_in_block)
+                         if any(not covered(a, idx) for a in union_attrs)]
+            row_data: dict[int, bytes] = {}
+            if need_file:
+                first, last = need_file[0], need_file[-1]
+                start = fits.data_offset + (row + first) * fits.row_bytes
+                length = (last - first + 1) * fits.row_bytes
+                blob = handle.read_at(start, length)
+                for idx in range(first, last + 1):
+                    lo = (idx - first) * fits.row_bytes
+                    row_data[idx] = blob[lo:lo + fits.row_bytes]
+
+            cache_entries: dict[int, list] = {a: [] for a in union_attrs}
+
+            for idx in range(rows_in_block):
+                model.tuple_overhead(1)
+                values: dict[int, object] = {}
+
+                def get_value(attr: int):
+                    if attr in values:
+                        return values[attr]
+                    cache_block = cached.get(attr)
+                    if cache_block is not None:
+                        present, value = cache_block.get(idx)
+                        if present:
+                            model.cache_read(1)
+                            values[attr] = value
+                            return value
+                    value = columns[attr].decode(row_data[idx])
+                    model.deserialize(1)
+                    values[attr] = value
+                    cache_entries[attr].append((idx, value))
+                    return value
+
+                if predicate is not None:
+                    where_values = {a: get_value(a) for a in where_attrs}
+                    model.predicate(n_terms)
+                    if predicate.fn(where_values) is not True:
+                        if collector is not None:
+                            collector.add_row(values)
+                        continue
+                out = tuple(get_value(a) for a in out_attrs)
+                model.tuple_form(len(out_attrs))
+                if collector is not None:
+                    collector.add_row(values)
+                yield out
+
+            if self.cache is not None:
+                for attr, entries in cache_entries.items():
+                    if entries:
+                        self.cache.put(attr, block, rows_in_block, entries,
+                                       self._families[attr])
+            row = block_end
+
+        if collector is not None:
+            stats = self.table_info.stats or TableStats()
+            collector.finalize(stats, nrows)
+            self.table_info.stats = stats
+        self.table_info.row_count_hint = nrows

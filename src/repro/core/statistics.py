@@ -1,0 +1,79 @@
+"""On-the-fly statistics collection (§4.4).
+
+PostgresRaw invokes "the native statistics routines of the DBMS,
+providing it with a sample of the data", only for attributes the current
+query actually reads. We reproduce that with per-attribute reservoir
+samplers filled during the scan; at end-of-scan the samples are folded
+into the table's :class:`~repro.sql.stats.TableStats`, incrementally
+augmenting whatever earlier queries collected.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.simcost.model import CostModel
+from repro.sql.catalog import Schema
+from repro.sql.stats import ColumnStats, TableStats
+
+
+class ReservoirSampler:
+    """Classic reservoir sampling (Vitter's algorithm R), deterministic
+    per (seed, attribute) so experiments are reproducible."""
+
+    def __init__(self, capacity: int, seed: int = 0):
+        self.capacity = capacity
+        self.sample: list = []
+        self.seen = 0
+        self.null_count = 0
+        self._rng = random.Random(seed)
+
+    def add(self, value) -> None:
+        self.seen += 1
+        if value is None:
+            self.null_count += 1
+            return
+        if len(self.sample) < self.capacity:
+            self.sample.append(value)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self.sample[slot] = value
+
+
+class StatsCollector:
+    """Collects samples for a set of attributes during one scan."""
+
+    def __init__(self, model: CostModel, schema: Schema, attrs: list[int],
+                 sample_target: int = 1000, seed: int = 0):
+        self.model = model
+        self.schema = schema
+        self.attrs = list(attrs)
+        self._samplers = {
+            attr: ReservoirSampler(sample_target, seed=seed * 1009 + attr)
+            for attr in self.attrs
+        }
+
+    def add_row(self, values: dict[int, object]) -> None:
+        """Sample the attribute values of one row (missing attrs skipped:
+        selective parsing may not have converted them)."""
+        for attr in self.attrs:
+            if attr in values:
+                self._samplers[attr].add(values[attr])
+                self.model.stats_sample(1)
+
+    def finalize(self, table_stats: TableStats, row_count: int) -> TableStats:
+        """Fold the samples into ``table_stats`` (augmenting, not
+        replacing, stats of attributes this scan did not touch)."""
+        table_stats.row_count = row_count
+        for attr, sampler in self._samplers.items():
+            if sampler.seen == 0:
+                continue
+            name = self.schema.columns[attr].name
+            column = table_stats.column(name)
+            if column is None:
+                column = ColumnStats(name=name)
+            column.merge_sample(sampler.sample, row_count,
+                                sampler.null_count, sampler.seen)
+            table_stats.set_column(column)
+        return table_stats

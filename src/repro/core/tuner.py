@@ -1,0 +1,118 @@
+"""Idle-time auto-tuning (§7 "Auto Tuning Tools").
+
+"Auto tuning tools for NoDB systems, given a budget of idle time and
+workload knowledge, have the opportunity to exploit idle time as best
+as possible, loading and indexing as much of the relevant data as
+possible. The rest of the data remains unloaded and unindexed until
+relevant queries arrive."
+
+:class:`IdleTuner` implements that: workload knowledge comes from the
+per-attribute request counts the scans record (plus explicit hints),
+and :meth:`exploit_idle_time` spends a virtual-seconds budget warming
+the most valuable attributes — populating the positional map, the
+binary cache and statistics — stopping when the budget runs out.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass
+class TuningReport:
+    """What one idle period accomplished."""
+
+    seconds_used: float = 0.0
+    warmed: list[tuple[str, str]] = field(default_factory=list)  # (table, col)
+    exhausted_budget: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        warmed = ", ".join(f"{t}.{c}" for t, c in self.warmed) or "nothing"
+        return (f"TuningReport({self.seconds_used:.3f}s used, "
+                f"warmed: {warmed})")
+
+
+class IdleTuner:
+    """Spends idle time warming a PostgresRaw engine's structures."""
+
+    def __init__(self, engine):
+        from repro.core.engine import PostgresRaw
+        if not isinstance(engine, PostgresRaw):
+            raise ReproError("IdleTuner tunes PostgresRaw engines")
+        self.engine = engine
+        self._hints: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def hint(self, table: str, columns: list[str], weight: int = 1) -> None:
+        """Declare expected workload interest ("workload knowledge")."""
+        info = self.engine.catalog.get(table)
+        for column in columns:
+            info.schema.index_of(column)  # validate
+            self._hints[(info.name.lower(), column.lower())] += weight
+
+    def _observed_counts(self) -> Counter:
+        """Workload discovered on the fly: per-attribute request counts
+        recorded by the raw scans."""
+        counts: Counter = Counter()
+        for info in self.engine.catalog.tables():
+            access = info.access
+            recorded = getattr(access, "attr_request_counts", None)
+            if not recorded:
+                continue
+            for attr, count in recorded.items():
+                name = info.schema.columns[attr].name.lower()
+                counts[(info.name.lower(), name)] += count
+        return counts
+
+    def candidates(self) -> list[tuple[str, str]]:
+        """(table, column) pairs ranked by expected value."""
+        merged = self._observed_counts()
+        merged.update(self._hints)
+        return [key for key, _count in merged.most_common()]
+
+    # ------------------------------------------------------------------
+    def exploit_idle_time(self, budget_seconds: float) -> TuningReport:
+        """Warm attributes in value order until the budget is spent.
+
+        The budget is enforced on the engine's virtual clock: tuning
+        stops after the attribute that crosses it (work, like a real
+        background job, is not interrupted mid-attribute).
+        """
+        if budget_seconds <= 0:
+            raise ReproError("idle budget must be positive")
+        clock = self.engine.clock
+        start = clock.checkpoint()
+        report = TuningReport()
+        for table, column in self.candidates():
+            if clock.elapsed_since(start) >= budget_seconds:
+                report.exhausted_budget = True
+                break
+            info = self.engine.catalog.get(table)
+            access = info.access
+            attr = info.schema.index_of(column)
+            if self._fully_warm(access, attr):
+                continue
+            for _row in access.scan([attr], None):
+                pass  # consuming the scan populates map/cache/stats
+            report.warmed.append((info.name, column))
+        report.seconds_used = clock.elapsed_since(start)
+        report.exhausted_budget = (report.exhausted_budget
+                                   or report.seconds_used >= budget_seconds)
+        return report
+
+    def _fully_warm(self, access, attr: int) -> bool:
+        """Is this attribute already answerable from the cache alone?"""
+        cache = getattr(access, "cache", None)
+        row_count = getattr(access, "row_count", None)
+        if cache is None or row_count is None:
+            return False
+        block_size = self.engine.config.row_block_size
+        blocks = -(-row_count // block_size) if row_count else 0
+        for block in range(blocks):
+            cache_block = cache.get(attr, block)
+            if cache_block is None or not cache_block.complete:
+                return False
+        return True

@@ -1,0 +1,16 @@
+"""Engines: the comparators of the paper's evaluation.
+
+* :class:`repro.core.engine.PostgresRaw` — the NoDB prototype (in core/)
+* :class:`LoadedDBMS` — conventional load-then-query engines
+  (PostgreSQL / DBMS X / MySQL profiles)
+* :class:`ExternalFilesDBMS` — external-files straw-man (MySQL CSV
+  engine / DBMS X external files)
+* :class:`CFitsioProgram` — the custom C program of §5.3
+"""
+
+from repro.engines.base import Database
+from repro.engines.cfitsio import CFitsioProgram
+from repro.engines.external import ExternalFilesDBMS
+from repro.engines.loaded import LoadedDBMS
+
+__all__ = ["Database", "LoadedDBMS", "ExternalFilesDBMS", "CFitsioProgram"]

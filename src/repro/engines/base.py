@@ -1,0 +1,96 @@
+"""Database: the shared declarative query path.
+
+Every engine — PostgresRaw, loaded comparators, external-files
+straw-men — parses, plans and executes queries identically; they differ
+only in the access methods their catalogs bind (and in their calibrated
+cost profiles). This is the paper's experimental control: PostgresRaw
+"shares the same query execution engine" as PostgreSQL (§5).
+"""
+
+from __future__ import annotations
+
+from repro.simcost.clock import VirtualClock
+from repro.simcost.model import CostModel
+from repro.simcost.profiles import CostProfile
+from repro.sql.ast_nodes import Exists, Select
+from repro.sql.catalog import Catalog
+from repro.sql.executor import QueryResult, execute
+from repro.sql.expressions import split_conjuncts
+from repro.sql.optimizer import Optimizer
+from repro.sql.parser import parse
+from repro.sql.planner import Planner
+from repro.storage.vfs import VirtualFS
+
+
+class Database:
+    """Base engine: catalog + SQL front end + virtual clock.
+
+    Parameters
+    ----------
+    profile:
+        The engine's calibrated cost profile.
+    vfs:
+        The "machine" this engine runs on. Engines sharing a VFS share
+        raw files and the simulated OS page cache; by default each
+        engine gets its own machine.
+    """
+
+    def __init__(self, profile: CostProfile, vfs: VirtualFS | None = None):
+        self.vfs = vfs if vfs is not None else VirtualFS()
+        self.clock = VirtualClock()
+        self.model = CostModel(self.clock, profile)
+        self.catalog = Catalog()
+        self.use_statistics = True
+
+    @property
+    def name(self) -> str:
+        return self.model.profile.name
+
+    # ------------------------------------------------------------------
+    def query(self, sql: str) -> QueryResult:
+        """Parse, plan, and execute one SELECT statement."""
+        start = self.clock.checkpoint()
+        counters_before = dict(self.clock.counters)
+        select = parse(sql)
+        self.model.query_overhead()
+        self._refresh_tables(select)
+        planned = self._plan(select)
+        return execute(planned, self.model, start, counters_before)
+
+    def explain(self, sql: str) -> dict:
+        """The physical plan summary for ``sql`` (no execution)."""
+        return self._plan(parse(sql)).describe()
+
+    def _plan(self, select: Select):
+        optimizer = Optimizer(use_stats=self.use_statistics)
+        return Planner(self.catalog, self.model, optimizer).plan(select)
+
+    def _refresh_tables(self, select: Select) -> None:
+        """Give access methods a chance to notice external file updates
+        (§4.5) before planning."""
+        for name in self._tables_of(select):
+            if self.catalog.has(name):
+                access = self.catalog.get(name).access
+                refresh = getattr(access, "refresh", None)
+                if refresh is not None:
+                    refresh()
+
+    def _tables_of(self, select: Select) -> list[str]:
+        names = [ref.name for ref in select.tables]
+        for conjunct in split_conjuncts(select.where):
+            node = conjunct
+            if hasattr(node, "operand"):
+                node = getattr(node, "operand")
+            if isinstance(conjunct, Exists):
+                names.extend(self._tables_of(conjunct.subquery))
+            elif isinstance(node, Exists):
+                names.extend(self._tables_of(node.subquery))
+        return names
+
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Total virtual seconds this engine has spent (loads+queries)."""
+        return self.clock.now()
+
+    def counters(self) -> dict[str, float]:
+        return self.clock.snapshot()

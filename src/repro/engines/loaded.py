@@ -1,0 +1,57 @@
+"""LoadedDBMS: the conventional load-then-query comparators.
+
+One class serves PostgreSQL, "DBMS X" and MySQL — they differ only in
+their calibrated :class:`~repro.simcost.profiles.CostProfile`. Loading
+pays the full parse/convert/serialize/write cost once (measurable on the
+engine's clock); queries then read binary heap pages through a buffer
+pool and never convert data again.
+"""
+
+from __future__ import annotations
+
+from repro.engines.access import HeapAccess
+from repro.engines.base import Database
+from repro.simcost.profiles import POSTGRESQL_PROFILE, CostProfile
+from repro.sql.catalog import Schema, TableInfo, TableKind
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.loader import BulkLoader
+from repro.storage.record import RecordCodec
+from repro.storage.toast import ToastReader
+from repro.storage.vfs import VirtualFS
+
+
+class LoadedDBMS(Database):
+    """A conventional DBMS: data must be loaded before it is queryable."""
+
+    def __init__(self, profile: CostProfile = POSTGRESQL_PROFILE,
+                 vfs: VirtualFS | None = None,
+                 buffer_pool_pages: int = 4096):
+        super().__init__(profile, vfs)
+        self.pool = BufferPool(self.vfs, self.model, buffer_pool_pages)
+
+    def load_csv(self, name: str, csv_path: str, schema: Schema,
+                 ) -> float:
+        """Bulk load ``csv_path`` into table ``name``; returns the
+        virtual seconds the load took (the cost Figure 7 stacks on top
+        of the query sequence)."""
+        start = self.clock.checkpoint()
+        heap_path = f"__heap__/{self.name}/{name.lower()}.heap"
+        loader = BulkLoader(self.vfs, self.model)
+        rows, stats = loader.load(csv_path, heap_path, schema)
+        heap = HeapFile(self.vfs, heap_path)
+        info = TableInfo(name=name, schema=schema, kind=TableKind.HEAP,
+                         path=heap_path, stats=stats, row_count_hint=rows)
+        toast = (ToastReader(self.vfs, heap_path + ".toast", self.model)
+                 if self.vfs.exists(heap_path + ".toast") else None)
+        info.access = HeapAccess(heap, self.pool, RecordCodec(schema),
+                                 schema, self.model, row_count=rows,
+                                 toast=toast)
+        self.catalog.register(info)
+        return self.clock.elapsed_since(start)
+
+    def restart(self) -> None:
+        """Model a cold restart: drop the buffer pool (the OS page cache
+        on the VFS is per-machine and survives, as in §5.1.4 where
+        "buffer caches are cold" but files may be warm)."""
+        self.pool.clear()

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Subclasses are grouped by the
+subsystem that raises them (SQL front end, catalog, storage, formats).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexerError(SQLError):
+    """Raised when the SQL lexer meets a character it cannot tokenize."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SQLError):
+    """Raised when the SQL parser meets an unexpected token."""
+
+    def __init__(self, message: str, token: object | None = None):
+        super().__init__(message)
+        self.token = token
+
+
+class PlanningError(SQLError):
+    """Raised when a parsed query cannot be turned into a plan.
+
+    Typical causes: unknown table or column references, unsupported
+    constructs, or ambiguous column names across joined tables.
+    """
+
+
+class CatalogError(ReproError):
+    """Raised for catalog-level problems (duplicate/unknown tables)."""
+
+
+class TypeError_(ReproError):
+    """Raised when a value cannot be converted to its declared SQL type.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer errors (pages, heap files, VFS)."""
+
+
+class FileNotFoundInVFS(StorageError):
+    """Raised when a virtual file path does not exist."""
+
+
+class PageFormatError(StorageError):
+    """Raised when a slotted page is malformed or a slot is out of range."""
+
+
+class FormatError(ReproError):
+    """Base class for raw-file format errors (CSV, FITS)."""
+
+
+class CSVFormatError(FormatError):
+    """Raised when a CSV row cannot be tokenized against the schema."""
+
+    def __init__(self, message: str, row_number: int | None = None):
+        super().__init__(message)
+        self.row_number = row_number
+
+
+class FITSFormatError(FormatError):
+    """Raised when a FITS file or header is malformed."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a query plan fails during execution."""
+
+
+class BudgetError(ReproError):
+    """Raised when a component is configured with an unusable budget."""

@@ -1,0 +1,23 @@
+"""Raw file formats: CSV (the paper's main case, §4) and FITS (§5.3)."""
+
+from repro.formats.csvfmt import (
+    CsvDialect,
+    LineReader,
+    field_spans_prefix,
+    find_line_starts,
+    span_backward,
+    span_forward,
+    split_line,
+    write_csv,
+)
+
+__all__ = [
+    "CsvDialect",
+    "LineReader",
+    "find_line_starts",
+    "field_spans_prefix",
+    "span_forward",
+    "span_backward",
+    "split_line",
+    "write_csv",
+]

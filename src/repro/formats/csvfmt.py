@@ -1,0 +1,215 @@
+"""CSV tokenizing primitives.
+
+These are pure functions over ``bytes``: they find line boundaries and
+attribute spans and report *how many characters they had to examine*,
+so the caller (the in-situ scan) can charge the cost model precisely.
+This separation is what lets tests assert the paper's mechanisms — e.g.
+"selective tokenizing touches fewer characters" — as exact counters.
+
+Dialect note: fields are raw bytes between delimiters; no quoting or
+escaping (the paper's generated workloads are plain CSV). The generators
+in :mod:`repro.workloads` never emit delimiter bytes inside values, and
+:func:`split_line` raises on NUL bytes as a cheap corruption guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import CSVFormatError
+from repro.storage.vfs import VirtualFile
+
+NEWLINE = 0x0A  # b"\n"
+
+
+@dataclass(frozen=True)
+class CsvDialect:
+    """Delimiter configuration (newline is always ``\\n``)."""
+
+    delimiter: bytes = b","
+
+    @property
+    def delim_byte(self) -> int:
+        return self.delimiter[0]
+
+
+DEFAULT_DIALECT = CsvDialect()
+
+
+def find_line_starts(block: bytes, base_offset: int = 0) -> tuple[list[int], int]:
+    """Offsets (absolute, given ``base_offset``) of each line start *after*
+    a newline inside ``block``; plus characters scanned.
+
+    The caller seeds the very first line start (offset 0) itself.
+    """
+    starts: list[int] = []
+    search_from = 0
+    while True:
+        idx = block.find(b"\n", search_from)
+        if idx < 0:
+            break
+        starts.append(base_offset + idx + 1)
+        search_from = idx + 1
+    return starts, len(block)
+
+
+def split_line(line: bytes, dialect: CsvDialect = DEFAULT_DIALECT,
+               ) -> tuple[list[tuple[int, int]], int]:
+    """Spans ``(start, end)`` of every attribute in ``line``; plus chars
+    scanned (always the whole line). ``line`` excludes the newline."""
+    if b"\x00" in line:
+        raise CSVFormatError("NUL byte in CSV line")
+    delim = dialect.delimiter
+    spans: list[tuple[int, int]] = []
+    start = 0
+    while True:
+        idx = line.find(delim, start)
+        if idx < 0:
+            spans.append((start, len(line)))
+            break
+        spans.append((start, idx))
+        start = idx + 1
+    return spans, len(line)
+
+
+def field_spans_prefix(line: bytes, upto: int,
+                       dialect: CsvDialect = DEFAULT_DIALECT,
+                       ) -> tuple[list[tuple[int, int]], int]:
+    """Spans of attributes ``0..upto`` (inclusive) — *selective
+    tokenizing* (§4.1): stop as soon as the last required attribute has
+    been delimited. Returns ``(spans, chars_scanned)``.
+
+    Raises :class:`CSVFormatError` if the line has fewer attributes.
+    """
+    delim = dialect.delimiter
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for _ in range(upto + 1):
+        idx = line.find(delim, start)
+        if idx < 0:
+            spans.append((start, len(line)))
+            if len(spans) <= upto:
+                raise CSVFormatError(
+                    f"line has {len(spans)} attributes, need {upto + 1}")
+            return spans, len(line)
+        spans.append((start, idx))
+        start = idx + 1
+    return spans, start  # scanned through the delimiter of attr `upto`
+
+
+def span_forward(line: bytes, known_start: int, steps: int,
+                 dialect: CsvDialect = DEFAULT_DIALECT,
+                 ) -> tuple[list[tuple[int, int]], int]:
+    """From a known attribute start offset, tokenize ``steps`` attributes
+    forward — the PM's *incremental parsing* (§4.2). Returns the spans of
+    the ``steps + 1`` attributes beginning at ``known_start`` (the known
+    one first) and the chars scanned.
+    """
+    delim = dialect.delimiter
+    spans: list[tuple[int, int]] = []
+    start = known_start
+    for _ in range(steps + 1):
+        idx = line.find(delim, start)
+        if idx < 0:
+            spans.append((start, len(line)))
+            if len(spans) < steps + 1:
+                raise CSVFormatError(
+                    f"ran out of attributes scanning forward "
+                    f"({len(spans)} of {steps + 1})")
+            return spans, len(line) - known_start
+        spans.append((start, idx))
+        start = idx + 1
+    return spans, start - known_start
+
+
+def span_backward(line: bytes, known_start: int, steps: int,
+                  dialect: CsvDialect = DEFAULT_DIALECT,
+                  ) -> tuple[list[tuple[int, int]], int]:
+    """From a known attribute start, tokenize ``steps`` attributes
+    *backward* (§4.2: "jumps ... and tokenizes backwards").
+
+    Returns spans of the ``steps`` attributes before the known one, in
+    file order (earliest first), plus chars scanned.
+    """
+    if steps <= 0:
+        return [], 0
+    delim_byte = dialect.delim_byte
+    # known_start - 1 is the delimiter that ends the previous attribute.
+    boundaries: list[int] = []   # start offsets, collected right-to-left
+    pos = known_start - 1
+    scanned = 0
+    remaining = steps
+    while remaining > 0:
+        end = pos          # delimiter position ending this attribute
+        pos -= 1
+        while pos >= 0 and line[pos] != delim_byte:
+            pos -= 1
+        scanned += end - pos
+        boundaries.append(pos + 1)
+        remaining -= 1
+        if pos < 0 and remaining > 0:
+            raise CSVFormatError(
+                f"ran out of attributes scanning backward "
+                f"({steps - remaining} of {steps})")
+    starts = boundaries[::-1]
+    spans = []
+    for i, start in enumerate(starts):
+        end = starts[i + 1] - 1 if i + 1 < len(starts) else known_start - 1
+        spans.append((start, end))
+    return spans, scanned
+
+
+class LineReader:
+    """Streams ``(line_start_offset, line_bytes)`` pairs from a costed
+    :class:`VirtualFile`, reading in large sequential blocks.
+
+    Disk cost is charged by the file handle; the newline scan itself is
+    *not* charged here — the caller decides (a PostgresRaw scan that
+    already has the line index jumps without scanning; a first pass
+    charges ``tokenize`` per char via the ``chars_scanned`` counter).
+    """
+
+    def __init__(self, handle: VirtualFile, block_size: int = 256 * 1024,
+                 start_offset: int = 0):
+        self.handle = handle
+        self.block_size = block_size
+        self.start_offset = start_offset
+        self.chars_scanned = 0
+
+    def __iter__(self) -> Iterator[tuple[int, bytes]]:
+        self.handle.seek(self.start_offset)
+        buf = b""
+        buf_start = self.start_offset  # absolute offset of buf[0]
+        while True:
+            block = self.handle.read_sequential(self.block_size)
+            if not block:
+                break
+            self.chars_scanned += len(block)
+            buf += block
+            cursor = 0
+            while True:
+                idx = buf.find(b"\n", cursor)
+                if idx < 0:
+                    break
+                yield buf_start + cursor, buf[cursor:idx]
+                cursor = idx + 1
+            buf = buf[cursor:]
+            buf_start += cursor
+        if buf:
+            yield buf_start, buf
+
+
+def write_csv(rows: Iterator[list[str]] | list[list[str]],
+              dialect: CsvDialect = DEFAULT_DIALECT) -> bytes:
+    """Render pre-formatted string rows as CSV bytes (used by generators
+    and by tests; values must not contain the delimiter or newlines)."""
+    delim = dialect.delimiter.decode("ascii")
+    out: list[str] = []
+    for row in rows:
+        for value in row:
+            if delim in value or "\n" in value:
+                raise CSVFormatError(
+                    f"value contains delimiter/newline: {value!r}")
+        out.append(delim.join(row))
+    return ("\n".join(out) + "\n").encode("utf-8") if out else b""

@@ -1,0 +1,35 @@
+"""Deterministic virtual-time cost accounting.
+
+Wall-clock benchmarks of parsing speed in pure Python measure CPython,
+not the system under study. Instead, every component of this library
+reports the *events* it performs (bytes read, characters tokenized,
+values converted, positions fetched, ...) to a :class:`VirtualClock`,
+which prices them with a calibrated :class:`CostProfile`. Benchmarks
+then compare deterministic virtual seconds whose *shape* tracks the
+paper's figures.
+"""
+
+from repro.simcost.clock import CostEvent, VirtualClock
+from repro.simcost.model import CostModel
+from repro.simcost.profiles import (
+    CFITSIO_PROFILE,
+    CSV_ENGINE_PROFILE,
+    DBMS_X_PROFILE,
+    MYSQL_PROFILE,
+    POSTGRESQL_PROFILE,
+    POSTGRES_RAW_PROFILE,
+    CostProfile,
+)
+
+__all__ = [
+    "CostEvent",
+    "VirtualClock",
+    "CostModel",
+    "CostProfile",
+    "POSTGRES_RAW_PROFILE",
+    "POSTGRESQL_PROFILE",
+    "DBMS_X_PROFILE",
+    "MYSQL_PROFILE",
+    "CSV_ENGINE_PROFILE",
+    "CFITSIO_PROFILE",
+]

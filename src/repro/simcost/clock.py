@@ -1,0 +1,97 @@
+"""Virtual clock and cost ledger.
+
+The clock is the single source of "time" in the library. Components
+never read the wall clock; they charge events and the clock advances by
+``units * rate``. The ledger keeps per-event unit counts so tests can
+assert *mechanism* (e.g. selective tokenizing touched fewer characters)
+independently of the calibrated prices.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class CostEvent(enum.Enum):
+    """Every priced event in the system.
+
+    The unit of each event is noted in parentheses.
+    """
+
+    DISK_READ_COLD = "disk_read_cold"        # bytes read missing the OS cache
+    DISK_READ_WARM = "disk_read_warm"        # bytes read served by the OS cache
+    DISK_SEEK = "disk_seek"                  # seeks (random repositioning)
+    DISK_WRITE = "disk_write"                # bytes written
+    TOKENIZE = "tokenize"                    # characters scanned for delimiters
+    NEWLINE_SCAN = "newline_scan"            # characters scanned for line ends
+    CONVERT_INT = "convert_int"              # string->int conversions
+    CONVERT_FLOAT = "convert_float"          # string->float conversions
+    CONVERT_DATE = "convert_date"            # string->date conversions
+    CONVERT_STR = "convert_str"              # string field extractions
+    TUPLE_FORM = "tuple_form"                # attributes placed into tuples
+    MAP_ACCESS = "map_access"                # positional-map position fetches
+    MAP_INSERT = "map_insert"                # positional-map position inserts
+    CACHE_READ = "cache_read"                # values served from binary cache
+    CACHE_WRITE = "cache_write"              # values inserted into binary cache
+    PREDICATE_EVAL = "predicate_eval"        # predicate evaluations
+    AGGREGATE_STEP = "aggregate_step"        # aggregate accumulator updates
+    HASH_PROBE = "hash_probe"                # hash table probes (joins/aggs)
+    SORT_COMPARE = "sort_compare"            # comparisons while sorting
+    DESERIALIZE = "deserialize"              # binary page attr deserializations
+    TOAST_FETCH = "toast_fetch"              # out-of-line (TOAST) value fetches
+    SERIALIZE = "serialize"                  # binary page attr serializations
+    TUPLE_OVERHEAD = "tuple_overhead"        # per-tuple executor overhead
+    STATS_SAMPLE = "stats_sample"            # values sampled into statistics
+    QUERY_OVERHEAD = "query_overhead"        # per-query setup (parse/plan)
+
+
+@dataclass
+class VirtualClock:
+    """Accumulates virtual seconds and per-event unit counts.
+
+    A clock belongs to one engine instance. ``checkpoint``/``elapsed_since``
+    let callers time a region (e.g. a single query) without resetting.
+    """
+
+    seconds: float = 0.0
+    counters: Counter = field(default_factory=Counter)
+
+    def charge(self, event: CostEvent, units: float, rate: float) -> None:
+        """Record ``units`` of ``event`` priced at ``rate`` seconds/unit."""
+        if units < 0:
+            raise ValueError(f"negative units for {event}: {units}")
+        self.counters[event] += units
+        self.seconds += units * rate
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock by a raw amount of virtual seconds."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self.seconds += seconds
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.seconds
+
+    def checkpoint(self) -> float:
+        """A point-in-time marker; pass to :meth:`elapsed_since`."""
+        return self.seconds
+
+    def elapsed_since(self, checkpoint: float) -> float:
+        """Virtual seconds elapsed since ``checkpoint``."""
+        return self.seconds - checkpoint
+
+    def count(self, event: CostEvent) -> float:
+        """Total units charged for ``event`` so far."""
+        return self.counters.get(event, 0)
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy of the counters, keyed by event value."""
+        return {event.value: units for event, units in self.counters.items()}
+
+    def reset(self) -> None:
+        """Zero the clock and all counters."""
+        self.seconds = 0.0
+        self.counters.clear()

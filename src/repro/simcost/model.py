@@ -1,0 +1,125 @@
+"""CostModel: the facade components use to charge events.
+
+A model binds one :class:`VirtualClock` to one :class:`CostProfile` and
+exposes intention-revealing helpers (``tokenize(n)``, ``convert(type, n)``)
+so call sites read like a description of the work being done.
+"""
+
+from __future__ import annotations
+
+from repro.simcost.clock import CostEvent, VirtualClock
+from repro.simcost.profiles import POSTGRES_RAW_PROFILE, CostProfile
+
+#: Maps SQL type families to their conversion event (see datatypes.py).
+_CONVERT_EVENTS = {
+    "int": CostEvent.CONVERT_INT,
+    "float": CostEvent.CONVERT_FLOAT,
+    "date": CostEvent.CONVERT_DATE,
+    "str": CostEvent.CONVERT_STR,
+    "bool": CostEvent.CONVERT_INT,
+}
+
+
+class CostModel:
+    """Charges priced events against a clock.
+
+    Parameters
+    ----------
+    clock:
+        The engine's virtual clock; created if not supplied.
+    profile:
+        The calibrated price list (defaults to the PostgresRaw profile).
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        profile: CostProfile = POSTGRES_RAW_PROFILE,
+    ):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.profile = profile
+
+    def charge(self, event: CostEvent, units: float = 1) -> None:
+        """Charge ``units`` of an arbitrary event."""
+        self.clock.charge(event, units, self.profile.rate(event))
+
+    # -- disk ------------------------------------------------------------
+    def disk_read(self, nbytes: int, warm: bool = False) -> None:
+        event = CostEvent.DISK_READ_WARM if warm else CostEvent.DISK_READ_COLD
+        self.charge(event, nbytes)
+
+    def disk_seek(self, count: int = 1) -> None:
+        self.charge(CostEvent.DISK_SEEK, count)
+
+    def disk_write(self, nbytes: int) -> None:
+        self.charge(CostEvent.DISK_WRITE, nbytes)
+
+    # -- raw-file CPU work -------------------------------------------------
+    def tokenize(self, nchars: int) -> None:
+        self.charge(CostEvent.TOKENIZE, nchars)
+
+    def newline_scan(self, nchars: int) -> None:
+        self.charge(CostEvent.NEWLINE_SCAN, nchars)
+
+    def convert(self, family: str, count: int = 1) -> None:
+        """Charge ``count`` string->binary conversions for a type family.
+
+        ``family`` is one of ``int``, ``float``, ``date``, ``str``, ``bool``
+        (see :meth:`repro.sql.datatypes.DataType.family`).
+        """
+        self.charge(_CONVERT_EVENTS[family], count)
+
+    def tuple_form(self, nattrs: int) -> None:
+        self.charge(CostEvent.TUPLE_FORM, nattrs)
+
+    # -- auxiliary structures ---------------------------------------------
+    def map_access(self, npositions: int = 1) -> None:
+        self.charge(CostEvent.MAP_ACCESS, npositions)
+
+    def map_insert(self, npositions: int = 1) -> None:
+        self.charge(CostEvent.MAP_INSERT, npositions)
+
+    def cache_read(self, nvalues: int = 1) -> None:
+        self.charge(CostEvent.CACHE_READ, nvalues)
+
+    def cache_write(self, nvalues: int = 1) -> None:
+        self.charge(CostEvent.CACHE_WRITE, nvalues)
+
+    def stats_sample(self, nvalues: int = 1) -> None:
+        self.charge(CostEvent.STATS_SAMPLE, nvalues)
+
+    # -- executor -----------------------------------------------------------
+    def predicate(self, count: int = 1) -> None:
+        self.charge(CostEvent.PREDICATE_EVAL, count)
+
+    def aggregate(self, count: int = 1) -> None:
+        self.charge(CostEvent.AGGREGATE_STEP, count)
+
+    def hash_probe(self, count: int = 1) -> None:
+        self.charge(CostEvent.HASH_PROBE, count)
+
+    def sort_compare(self, count: int = 1) -> None:
+        self.charge(CostEvent.SORT_COMPARE, count)
+
+    def tuple_overhead(self, count: int = 1) -> None:
+        self.charge(CostEvent.TUPLE_OVERHEAD, count)
+
+    def query_overhead(self) -> None:
+        self.charge(CostEvent.QUERY_OVERHEAD, 1)
+
+    # -- loaded-engine binary pages ------------------------------------------
+    def deserialize(self, nattrs: int) -> None:
+        self.charge(CostEvent.DESERIALIZE, nattrs)
+
+    def toast_fetch(self, nvalues: int = 1) -> None:
+        self.charge(CostEvent.TOAST_FETCH, nvalues)
+
+    def serialize(self, nattrs: int) -> None:
+        self.charge(CostEvent.SERIALIZE, nattrs)
+
+    # -- introspection ---------------------------------------------------------
+    def now(self) -> float:
+        return self.clock.now()
+
+    def count(self, event: CostEvent) -> float:
+        return self.clock.count(event)

@@ -1,0 +1,160 @@
+"""Calibrated cost profiles.
+
+A :class:`CostProfile` prices every :class:`~repro.simcost.clock.CostEvent`
+in seconds per unit. The baseline constants approximate the paper's
+testbed (Sun X4140: 4x 10k-RPM SATA RAID-0, 32 GB RAM, 2.7 GHz Opterons):
+
+* sequential disk bandwidth ~300 MB/s cold, ~3 GB/s from the OS cache,
+* ~5 ms per random seek,
+* tokenizing ~0.5 G chars/s,
+* string->int conversion ~25 M values/s (the paper's dominant CPU cost),
+* binary page attribute deserialization several times cheaper than
+  ASCII conversion.
+
+Vendor profiles then scale a handful of knobs to encode the paper's
+*stated relative behaviours* (e.g. DBMS X's executor is faster than
+PostgreSQL's; MySQL's is slower), not any proprietary measurements.
+Absolute numbers are irrelevant — benches assert shapes and ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.simcost.clock import CostEvent
+
+# Baseline hardware rates (seconds per unit).
+_COLD_READ = 1.0 / 300e6       # 300 MB/s sequential cold read
+_WARM_READ = 1.0 / 3e9         # 3 GB/s from OS page cache
+_SEEK = 5e-3                   # 10k RPM random seek
+_WRITE = 1.0 / 200e6           # 200 MB/s sequential write
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Seconds-per-unit price for every cost event."""
+
+    name: str
+    disk_read_cold: float = _COLD_READ
+    disk_read_warm: float = _WARM_READ
+    disk_seek: float = _SEEK
+    disk_write: float = _WRITE
+    tokenize: float = 2e-9
+    newline_scan: float = 0.4e-9   # memchr-style scan, SIMD-fast in practice
+    # PostgreSQL input functions: pg_atoi ~60ns, float8in ~150ns,
+    # date_in ~250ns (parsing + validation + palloc traffic).
+    convert_int: float = 60e-9
+    convert_float: float = 150e-9
+    convert_date: float = 250e-9
+    convert_str: float = 8e-9
+    tuple_form: float = 8e-9
+    map_access: float = 3e-9
+    map_insert: float = 4e-9
+    cache_read: float = 4e-9
+    cache_write: float = 6e-9
+    predicate_eval: float = 10e-9
+    aggregate_step: float = 15e-9
+    hash_probe: float = 20e-9
+    sort_compare: float = 250e-9   # tuplesort: copy + comparator + spill risk
+    deserialize: float = 6e-9
+    # Fetching an out-of-line (TOASTed) value: toast-index lookup, page
+    # pin, copy — the §6 wide-tuple pathology of slotted-page engines.
+    toast_fetch: float = 2500e-9
+    serialize: float = 8e-9
+    tuple_overhead: float = 500e-9
+    stats_sample: float = 50e-9
+    # Parse/plan time. Real engines pay ~ms here; benchmark data is
+    # scaled down ~1000x from the paper's, so this is scaled likewise
+    # to keep plan overhead from drowning the adaptive effects.
+    query_overhead: float = 1e-4
+
+    def rate(self, event: CostEvent) -> float:
+        """The price of one unit of ``event`` under this profile."""
+        return getattr(self, event.value)
+
+
+#: PostgresRaw shares PostgreSQL's engine (same executor constants); it
+#: differs only in *what* it does (in-situ scans), not in unit prices.
+POSTGRES_RAW_PROFILE = CostProfile(name="PostgresRaw")
+
+#: Plain PostgreSQL 9.0 over loaded heap pages.
+POSTGRESQL_PROFILE = CostProfile(name="PostgreSQL")
+
+#: "DBMS X": commercial row-store; the paper reports its query executor
+#: clearly faster than PostgreSQL's (PostgreSQL was 53% slower on the
+#: Fig 7 sequence) but its bulk load slower.
+DBMS_X_PROFILE = replace(
+    POSTGRESQL_PROFILE,
+    name="DBMS X",
+    tuple_overhead=300e-9,
+    deserialize=4e-9,
+    aggregate_step=9e-9,
+    predicate_eval=6e-9,
+    serialize=24e-9,          # heavier loading path (indexes, page format)
+    convert_int=140e-9,       # load-time conversion cost is higher
+    convert_float=280e-9,
+    convert_date=450e-9,
+)
+
+#: MySQL 5.5 over loaded data; slower executor, slower load than
+#: PostgreSQL (Fig 7: load 1671 s vs PostgreSQL's ~830 s).
+MYSQL_PROFILE = replace(
+    POSTGRESQL_PROFILE,
+    name="MySQL",
+    tuple_overhead=1200e-9,
+    deserialize=9e-9,
+    aggregate_step=22e-9,
+    predicate_eval=14e-9,
+    serialize=16e-9,
+    convert_int=100e-9,
+    convert_float=220e-9,
+    convert_date=380e-9,
+)
+
+#: MySQL CSV storage engine: external-files comparator. Re-parses the
+#: whole file per query with a slow per-tuple path (Fig 7's worst case).
+CSV_ENGINE_PROFILE = replace(
+    MYSQL_PROFILE,
+    name="MySQL CSV engine",
+    tokenize=3e-9,
+    convert_int=100e-9,
+    convert_float=220e-9,
+    tuple_overhead=1500e-9,
+)
+
+#: DBMS X external-files feature: full re-parse per query, but with the
+#: faster DBMS X per-tuple machinery.
+DBMS_X_EXTERNAL_PROFILE = replace(
+    DBMS_X_PROFILE,
+    name="DBMS X external files",
+    convert_int=90e-9,
+    convert_float=200e-9,
+    convert_date=320e-9,
+)
+
+#: Custom CFITSIO C program (§5.3). Not a bare loop: the CFITSIO
+#: library pays per-row buffer management, byte swapping and validity
+#: checks (the paper measures ~1.6 us/row over 4.3M rows), and it
+#: rescans the whole file per query with no auxiliary structures.
+CFITSIO_PROFILE = replace(
+    POSTGRESQL_PROFILE,
+    name="CFITSIO",
+    tuple_overhead=800e-9,
+    deserialize=30e-9,
+    aggregate_step=10e-9,
+    predicate_eval=10e-9,
+    query_overhead=1e-4,
+)
+
+ALL_PROFILES = {
+    profile.name: profile
+    for profile in (
+        POSTGRES_RAW_PROFILE,
+        POSTGRESQL_PROFILE,
+        DBMS_X_PROFILE,
+        MYSQL_PROFILE,
+        CSV_ENGINE_PROFILE,
+        DBMS_X_EXTERNAL_PROFILE,
+        CFITSIO_PROFILE,
+    )
+}

@@ -1,0 +1,145 @@
+"""AST node definitions for the SQL subset.
+
+The subset covers everything the paper's workloads need: select-project-
+aggregate queries with multi-table (comma or JOIN ... ON) joins, WHERE
+with AND/OR/NOT, comparisons, BETWEEN, IN, LIKE, IS NULL, correlated
+EXISTS; GROUP BY, HAVING, ORDER BY, LIMIT; CASE WHEN; arithmetic; DATE
+and INTERVAL literals with date arithmetic (TPC-H Q1..Q19 subset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+Expr = Union[
+    "Literal", "ColumnRef", "Star", "BinaryOp", "UnaryOp", "FuncCall",
+    "CaseExpr", "LikeExpr", "InList", "Between", "IsNull", "Exists",
+    "IntervalLiteral",
+]
+
+AGGREGATE_FUNCTIONS = {"sum", "avg", "min", "max", "count"}
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object  # int | float | str | datetime.date | bool | None
+
+
+@dataclass(frozen=True)
+class IntervalLiteral:
+    amount: int
+    unit: str  # 'day' | 'month' | 'year'
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+    table: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` — only valid inside COUNT(*) or as the lone select item."""
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # + - * / = <> < <= > >= AND OR
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # NOT, -
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str  # lower-cased
+    args: tuple
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in AGGREGATE_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class CaseExpr:
+    whens: tuple  # tuple[(condition, result), ...]
+    else_result: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class LikeExpr:
+    operand: Expr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: Expr
+    items: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists:
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by in the query."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class Select:
+    items: list[SelectItem] = field(default_factory=list)
+    tables: list[TableRef] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None

@@ -1,0 +1,153 @@
+"""Catalog: schemas, table registration, table kinds.
+
+The paper keeps PostgreSQL's catalog but marks tables as *in situ*: the
+schema is declared a priori (§3.1 — schema discovery is out of scope),
+and the table's kind decides which access method the planner binds at
+the plan leaf.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import CatalogError, PlanningError
+from repro.sql.datatypes import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sql.stats import TableStats
+
+
+class TableKind(enum.Enum):
+    """How the engine reaches a table's tuples."""
+
+    RAW_CSV = "raw_csv"          # PostgresRaw in-situ CSV scan (PM + cache)
+    RAW_FITS = "raw_fits"        # PostgresRaw in-situ FITS scan
+    HEAP = "heap"                # loaded binary pages (conventional DBMS)
+    EXTERNAL_CSV = "external"    # external-files straw-man: full re-parse
+
+
+@dataclass(frozen=True)
+class Column:
+    """One attribute of a table."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name} {self.dtype.name}"
+
+
+class Schema:
+    """An ordered list of columns with by-name lookup."""
+
+    def __init__(self, columns: list[Column] | list[tuple[str, DataType]]):
+        normalized: list[Column] = []
+        for col in columns:
+            if isinstance(col, Column):
+                normalized.append(col)
+            else:
+                name, dtype = col
+                normalized.append(Column(name, dtype))
+        self.columns = normalized
+        self._index = {c.name.lower(): i for i, c in enumerate(normalized)}
+        if len(self._index) != len(normalized):
+            raise CatalogError("duplicate column names in schema")
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def types(self) -> list[DataType]:
+        return [c.dtype for c in self.columns]
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def index_of(self, name: str) -> int:
+        """Position of column ``name`` (case-insensitive)."""
+        idx = self._index.get(name.lower())
+        if idx is None:
+            raise PlanningError(f"unknown column: {name!r}")
+        return idx
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema({', '.join(map(repr, self.columns))})"
+
+
+@dataclass
+class TableInfo:
+    """Everything the engine knows about one table.
+
+    ``path`` is the VFS path of the raw file (RAW/EXTERNAL kinds) or of
+    the heap file (HEAP kind). ``access`` is set by the owning engine to
+    the access-method object serving this table's scans. ``stats`` holds
+    optimizer statistics — for PostgresRaw these appear adaptively
+    (§4.4); for loaded engines they are built at load time.
+    """
+
+    name: str
+    schema: Schema
+    kind: TableKind
+    path: str
+    access: object | None = None
+    stats: "TableStats | None" = None
+    row_count_hint: int | None = None
+    extra: dict = field(default_factory=dict)
+
+
+class Catalog:
+    """Case-insensitive table namespace for one engine."""
+
+    def __init__(self):
+        self._tables: dict[str, TableInfo] = {}
+
+    def register(self, info: TableInfo) -> TableInfo:
+        key = info.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table already registered: {info.name!r}")
+        self._tables[key] = info
+        return info
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table: {name!r}")
+        del self._tables[key]
+
+    def get(self, name: str) -> TableInfo:
+        info = self._tables.get(name.lower())
+        if info is None:
+            raise CatalogError(f"unknown table: {name!r}")
+        return info
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> list[TableInfo]:
+        return list(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return self.has(name)
+
+    def __len__(self) -> int:
+        return len(self._tables)

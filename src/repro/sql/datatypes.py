@@ -1,0 +1,246 @@
+"""SQL data types and conversion.
+
+Types carry three responsibilities:
+
+* ``parse`` — string -> Python value (the expensive conversion the paper's
+  *selective parsing* avoids; the scan charges ``convert_<family>`` for it),
+* ``format`` — Python value -> string (CSV generation, result display),
+* ``family`` — the cost/type family used by the cost model and the record
+  codec (``int``, ``float``, ``str``, ``date``, ``bool``).
+
+Dates are stored as :class:`datetime.date`; DECIMAL maps to float (ample
+for the paper's workloads — TPC-H aggregates are compared by shape, and
+differential tests compare engines against each other, not against exact
+decimal arithmetic).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.errors import TypeError_
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A SQL interval (``INTERVAL '3' MONTH``), for date arithmetic."""
+
+    days: int = 0
+    months: int = 0
+    years: int = 0
+
+    def add_to(self, value: datetime.date) -> datetime.date:
+        year, month = value.year + self.years, value.month + self.months
+        year += (month - 1) // 12
+        month = (month - 1) % 12 + 1
+        day = min(value.day, _days_in_month(year, month))
+        return datetime.date(year, month, day) + datetime.timedelta(self.days)
+
+    def subtract_from(self, value: datetime.date) -> datetime.date:
+        inverse = Interval(-self.days, -self.months, -self.years)
+        return inverse.add_to(value)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    return (datetime.date(year, month + 1, 1) - datetime.timedelta(1)).day
+
+
+class DataType:
+    """Base class; concrete types below. Types are value objects."""
+
+    name: str = "?"
+    family: str = "?"
+
+    #: bytes used by the record codec (None => variable length)
+    fixed_width: int | None = None
+
+    def parse(self, text: str):
+        """Convert raw text to a Python value (NULL handled by callers)."""
+        raise NotImplementedError
+
+    def format(self, value) -> str:
+        """Render a Python value as raw text."""
+        return str(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DataType) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class IntegerType(DataType):
+    name = "INTEGER"
+    family = "int"
+    fixed_width = 8
+
+    def parse(self, text: str) -> int:
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise TypeError_(f"invalid integer literal: {text!r}") from exc
+
+
+class BigIntType(IntegerType):
+    name = "BIGINT"
+
+
+class FloatType(DataType):
+    name = "FLOAT"
+    family = "float"
+    fixed_width = 8
+
+    def parse(self, text: str) -> float:
+        try:
+            return float(text)
+        except ValueError as exc:
+            raise TypeError_(f"invalid float literal: {text!r}") from exc
+
+    def format(self, value) -> str:
+        return repr(float(value))
+
+
+class DecimalType(FloatType):
+    """DECIMAL(precision, scale); stored as float (see module docstring)."""
+
+    def __init__(self, precision: int = 15, scale: int = 2):
+        self.precision = precision
+        self.scale = scale
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"DECIMAL({self.precision},{self.scale})"
+
+    def format(self, value) -> str:
+        return f"{float(value):.{self.scale}f}"
+
+
+class VarcharType(DataType):
+    family = "str"
+    fixed_width = None
+
+    def __init__(self, width: int | None = None):
+        self.width = width
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"VARCHAR({self.width})" if self.width else "VARCHAR"
+
+    def parse(self, text: str) -> str:
+        return text
+
+
+class CharType(VarcharType):
+    def __init__(self, width: int = 1):
+        super().__init__(width)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"CHAR({self.width})"
+
+    def parse(self, text: str) -> str:
+        # SQL CHAR comparison semantics ignore trailing pad spaces.
+        return text.rstrip(" ")
+
+
+class DateType(DataType):
+    name = "DATE"
+    family = "date"
+    fixed_width = 4
+
+    def parse(self, text: str) -> datetime.date:
+        try:
+            year, month, day = text.strip().split("-")
+            return datetime.date(int(year), int(month), int(day))
+        except (ValueError, AttributeError) as exc:
+            raise TypeError_(f"invalid date literal: {text!r}") from exc
+
+    def format(self, value) -> str:
+        return value.isoformat()
+
+
+class BooleanType(DataType):
+    name = "BOOLEAN"
+    family = "bool"
+    fixed_width = 1
+
+    _TRUE = {"t", "true", "1", "yes"}
+    _FALSE = {"f", "false", "0", "no"}
+
+    def parse(self, text: str) -> bool:
+        lowered = text.strip().lower()
+        if lowered in self._TRUE:
+            return True
+        if lowered in self._FALSE:
+            return False
+        raise TypeError_(f"invalid boolean literal: {text!r}")
+
+    def format(self, value) -> str:
+        return "true" if value else "false"
+
+
+#: Singleton instances for the parameterless types.
+INTEGER = IntegerType()
+BIGINT = BigIntType()
+FLOAT = FloatType()
+DATE = DateType()
+BOOLEAN = BooleanType()
+
+
+def varchar(width: int | None = None) -> VarcharType:
+    """A VARCHAR type of the given width (None = unbounded)."""
+    return VarcharType(width)
+
+
+def char(width: int = 1) -> CharType:
+    """A blank-padded CHAR type of the given width."""
+    return CharType(width)
+
+
+def decimal(precision: int = 15, scale: int = 2) -> DecimalType:
+    """A DECIMAL type (stored as float; see module docstring)."""
+    return DecimalType(precision, scale)
+
+
+_SIMPLE_TYPES = {
+    "INT": INTEGER,
+    "INTEGER": INTEGER,
+    "BIGINT": BIGINT,
+    "FLOAT": FLOAT,
+    "DOUBLE": FLOAT,
+    "REAL": FLOAT,
+    "DATE": DATE,
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+    "TEXT": VarcharType(None),
+}
+
+
+def type_from_sql(name: str, args: tuple[int, ...] = ()) -> DataType:
+    """Resolve a SQL type name (+ optional args) to a :class:`DataType`.
+
+    >>> type_from_sql("DECIMAL", (15, 2)).name
+    'DECIMAL(15,2)'
+    """
+    upper = name.upper()
+    if upper in _SIMPLE_TYPES:
+        return _SIMPLE_TYPES[upper]
+    if upper == "VARCHAR":
+        return varchar(args[0] if args else None)
+    if upper == "CHAR":
+        return char(args[0] if args else 1)
+    if upper in ("DECIMAL", "NUMERIC"):
+        if len(args) >= 2:
+            return decimal(args[0], args[1])
+        if len(args) == 1:
+            return decimal(args[0], 0)
+        return decimal()
+    raise TypeError_(f"unknown SQL type: {name!r}")

@@ -1,0 +1,69 @@
+"""Plan execution and query results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simcost.model import CostModel
+from repro.sql.planner import PlannedQuery
+
+
+@dataclass
+class QueryResult:
+    """The materialized result of one query.
+
+    ``elapsed`` is virtual seconds of engine work for this query (parse
+    + plan + execute under the cost model); ``counters`` is the delta of
+    cost-event units it consumed; ``plan`` is the physical plan summary
+    (useful to observe optimizer decisions, e.g. Figure 12).
+    """
+
+    columns: list[str]
+    rows: list[tuple]
+    elapsed: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+    plan: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> list:
+        """All values of one result column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}")
+        return self.rows[0][0]
+
+    def as_dicts(self) -> list[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def execute(planned: PlannedQuery, model: CostModel,
+            start: float | None = None,
+            counters_before: dict | None = None) -> QueryResult:
+    """Run a planned query to completion, timing it on the virtual
+    clock. ``start``/``counters_before`` let the caller include
+    parse/plan overhead in the reported elapsed time."""
+    if start is None:
+        start = model.clock.checkpoint()
+    if counters_before is None:
+        counters_before = dict(model.clock.counters)
+    rows = list(planned.root.rows())
+    elapsed = model.clock.elapsed_since(start)
+    counters_after = model.clock.counters
+    delta = {
+        event.value: counters_after[event] - counters_before.get(event, 0)
+        for event in counters_after
+        if counters_after[event] != counters_before.get(event, 0)
+    }
+    return QueryResult(columns=planned.names, rows=rows, elapsed=elapsed,
+                       counters=delta, plan=planned.describe())

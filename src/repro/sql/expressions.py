@@ -1,0 +1,335 @@
+"""Expression analysis and compilation.
+
+Expressions compile to plain Python closures over a row tuple. The
+*resolver* protocol makes one mechanism serve every operator: a resolver
+maps an AST node to the index where its value already sits in the input
+row (plain columns below a scan; grouping keys and aggregate results
+above an aggregation). Anything the resolver does not resolve is
+computed structurally.
+
+SQL three-valued logic: comparisons/arithmetic with NULL yield None;
+AND/OR use Kleene logic; WHERE keeps a row only when the predicate is
+exactly True.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Callable, Iterable, Optional
+
+from repro.errors import ExecutionError, PlanningError
+from repro.sql.ast_nodes import (
+    AGGREGATE_FUNCTIONS,
+    Between,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    IntervalLiteral,
+    IsNull,
+    LikeExpr,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.datatypes import Interval
+
+Resolver = Callable[[Expr], Optional[int]]
+
+
+def expr_key(expr: Expr) -> str:
+    """A canonical hashable key identifying structurally equal
+    expressions (used to match SELECT items to GROUP BY keys and to
+    deduplicate aggregates)."""
+    return repr(expr)
+
+
+def collect_column_refs(expr: Expr | None) -> list[ColumnRef]:
+    """Every ColumnRef in ``expr``, depth-first, deduplicated, in order.
+
+    Columns referenced only inside EXISTS subqueries are *not* included:
+    the subquery plan resolves its own names (correlation is handled by
+    the planner separately).
+    """
+    out: list[ColumnRef] = []
+    seen: set[str] = set()
+
+    def walk(node) -> None:
+        if isinstance(node, ColumnRef):
+            key = expr_key(node)
+            if key not in seen:
+                seen.add(key)
+                out.append(node)
+            return
+        for child in _children(node):
+            walk(child)
+
+    if expr is not None:
+        walk(expr)
+    return out
+
+
+def collect_aggregates(expr: Expr | None) -> list[FuncCall]:
+    """Aggregate calls in ``expr`` (deduplicated by structure)."""
+    out: list[FuncCall] = []
+    seen: set[str] = set()
+
+    def walk(node) -> None:
+        if isinstance(node, FuncCall) and node.is_aggregate:
+            key = expr_key(node)
+            if key not in seen:
+                seen.add(key)
+                out.append(node)
+            return  # no nested aggregates
+        for child in _children(node):
+            walk(child)
+
+    if expr is not None:
+        walk(expr)
+    return out
+
+
+def contains_aggregate(expr: Expr | None) -> bool:
+    return bool(collect_aggregates(expr))
+
+
+def _children(node) -> Iterable:
+    if isinstance(node, BinaryOp):
+        return (node.left, node.right)
+    if isinstance(node, UnaryOp):
+        return (node.operand,)
+    if isinstance(node, FuncCall):
+        return tuple(a for a in node.args if not isinstance(a, Star))
+    if isinstance(node, CaseExpr):
+        children = []
+        for condition, result in node.whens:
+            children.extend((condition, result))
+        if node.else_result is not None:
+            children.append(node.else_result)
+        return children
+    if isinstance(node, LikeExpr):
+        return (node.operand,)
+    if isinstance(node, InList):
+        return (node.operand, *node.items)
+    if isinstance(node, Between):
+        return (node.operand, node.low, node.high)
+    if isinstance(node, IsNull):
+        return (node.operand,)
+    if isinstance(node, Exists):
+        return ()  # subquery columns are resolved by the subplan
+    return ()
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[Expr]) -> Expr | None:
+    """Rebuild a predicate from conjuncts (inverse of split_conjuncts)."""
+    result: Expr | None = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else BinaryOp("and", result,
+                                                          conjunct)
+    return result
+
+
+_LIKE_CACHE: dict[str, re.Pattern] = {}
+
+
+def like_to_regex(pattern: str) -> re.Pattern:
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        compiled = re.compile(f"^{regex}$", re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+def _interval_value(node: IntervalLiteral) -> Interval:
+    if node.unit == "day":
+        return Interval(days=node.amount)
+    if node.unit == "month":
+        return Interval(months=node.amount)
+    return Interval(years=node.amount)
+
+
+def _arith(op: str, left, right):
+    if left is None or right is None:
+        return None
+    if isinstance(left, datetime.date) and isinstance(right, Interval):
+        return right.add_to(left) if op == "+" else right.subtract_from(left)
+    if isinstance(right, datetime.date) and isinstance(left, Interval):
+        if op == "+":
+            return left.add_to(right)
+        raise ExecutionError("cannot subtract a date from an interval")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        return left / right
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+def _compare(op: str, left, right):
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def compile_expr(expr: Expr, resolver: Resolver) -> Callable:
+    """Compile ``expr`` into ``fn(row) -> value``.
+
+    Raises :class:`PlanningError` for column references the resolver
+    cannot place and for aggregates that were not pre-computed.
+    """
+    resolved = resolver(expr)
+    if resolved is not None:
+        index = resolved
+        return lambda row: row[index]
+
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, IntervalLiteral):
+        interval = _interval_value(expr)
+        return lambda row: interval
+    if isinstance(expr, ColumnRef):
+        raise PlanningError(f"unresolved column: {expr.display}")
+    if isinstance(expr, FuncCall) and expr.is_aggregate:
+        raise PlanningError(
+            f"aggregate {expr.name}() used outside an aggregation context")
+
+    if isinstance(expr, BinaryOp):
+        return _compile_binary(expr, resolver)
+    if isinstance(expr, UnaryOp):
+        operand = compile_expr(expr.operand, resolver)
+        if expr.op == "not":
+            def _not(row):
+                value = operand(row)
+                return None if value is None else (not value)
+            return _not
+        return lambda row: None if operand(row) is None else -operand(row)
+    if isinstance(expr, CaseExpr):
+        compiled_whens = [(compile_expr(c, resolver), compile_expr(r, resolver))
+                          for c, r in expr.whens]
+        compiled_else = (compile_expr(expr.else_result, resolver)
+                         if expr.else_result is not None else None)
+
+        def _case(row):
+            for condition, result in compiled_whens:
+                if condition(row) is True:
+                    return result(row)
+            return compiled_else(row) if compiled_else else None
+        return _case
+    if isinstance(expr, LikeExpr):
+        operand = compile_expr(expr.operand, resolver)
+        regex = like_to_regex(expr.pattern)
+        negated = expr.negated
+
+        def _like(row):
+            value = operand(row)
+            if value is None:
+                return None
+            matched = bool(regex.match(value))
+            return (not matched) if negated else matched
+        return _like
+    if isinstance(expr, InList):
+        operand = compile_expr(expr.operand, resolver)
+        items = [compile_expr(item, resolver) for item in expr.items]
+        negated = expr.negated
+
+        def _in(row):
+            value = operand(row)
+            if value is None:
+                return None
+            contained = any(item(row) == value for item in items)
+            return (not contained) if negated else contained
+        return _in
+    if isinstance(expr, Between):
+        operand = compile_expr(expr.operand, resolver)
+        low = compile_expr(expr.low, resolver)
+        high = compile_expr(expr.high, resolver)
+        negated = expr.negated
+
+        def _between(row):
+            value = operand(row)
+            lo = low(row)
+            hi = high(row)
+            if value is None or lo is None or hi is None:
+                return None
+            inside = lo <= value <= hi
+            return (not inside) if negated else inside
+        return _between
+    if isinstance(expr, IsNull):
+        operand = compile_expr(expr.operand, resolver)
+        negated = expr.negated
+
+        def _is_null(row):
+            result = operand(row) is None
+            return (not result) if negated else result
+        return _is_null
+    if isinstance(expr, FuncCall):
+        raise PlanningError(f"unknown function: {expr.name!r}")
+    if isinstance(expr, Exists):
+        raise PlanningError(
+            "EXISTS must be planned as a semi-join, not compiled directly")
+    if isinstance(expr, Star):
+        raise PlanningError("'*' is only valid in COUNT(*)")
+    raise PlanningError(f"cannot compile expression node: {expr!r}")
+
+
+def _compile_binary(expr: BinaryOp, resolver: Resolver) -> Callable:
+    left = compile_expr(expr.left, resolver)
+    right = compile_expr(expr.right, resolver)
+    op = expr.op
+    if op == "and":
+        def _and(row):
+            lhs = left(row)
+            if lhs is False:
+                return False
+            rhs = right(row)
+            if rhs is False:
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+        return _and
+    if op == "or":
+        def _or(row):
+            lhs = left(row)
+            if lhs is True:
+                return True
+            rhs = right(row)
+            if rhs is True:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+        return _or
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        return lambda row: _compare(op, left(row), right(row))
+    return lambda row: _arith(op, left(row), right(row))

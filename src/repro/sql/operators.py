@@ -1,0 +1,408 @@
+"""Physical plan operators (Volcano-style generators).
+
+Every operator charges the engine's cost model for the work it does, so
+virtual query time reflects plan choices (hash vs sort aggregation, join
+order) exactly the way the paper's Figure 12 depends on.
+
+Rows are plain tuples. Each operator carries a *layout*: a dict mapping
+the canonical key (:func:`repro.sql.expressions.expr_key`) of the
+expression that produced a column to its index in the row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.simcost.model import CostModel
+from repro.sql.scanapi import AccessMethod, ScanPredicate
+
+Layout = dict[str, int]
+
+
+def layout_resolver(layout: Layout):
+    """A resolver (see expressions.compile_expr) over a row layout."""
+    from repro.sql.expressions import expr_key
+
+    def resolve(node):
+        return layout.get(expr_key(node))
+    return resolve
+
+
+class PlanOp:
+    """Base class: an iterator of tuples with a layout and a describe()."""
+
+    def __init__(self, model: CostModel, layout: Layout):
+        self.model = model
+        self.layout = layout
+
+    def rows(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        raise NotImplementedError
+
+
+class ScanOp(PlanOp):
+    """Plan leaf: delegates to an access method (raw/heap/external)."""
+
+    def __init__(self, model: CostModel, layout: Layout,
+                 access: AccessMethod, needed: Sequence[int],
+                 predicate: ScanPredicate | None, table_name: str):
+        super().__init__(model, layout)
+        self.access = access
+        self.needed = list(needed)
+        self.predicate = predicate
+        self.table_name = table_name
+
+    def rows(self) -> Iterator[tuple]:
+        return self.access.scan(self.needed, self.predicate)
+
+    def describe(self) -> dict:
+        return {
+            "op": "Scan",
+            "table": self.table_name,
+            "access": type(self.access).__name__,
+            "columns": len(self.needed),
+            "pushed_predicates": (self.predicate.n_terms
+                                  if self.predicate else 0),
+        }
+
+
+class FilterOp(PlanOp):
+    """Residual predicate evaluation (join predicates that could not be
+    turned into hash keys, HAVING, multi-table conjuncts)."""
+
+    def __init__(self, model: CostModel, child: PlanOp,
+                 predicate_fn: Callable, n_terms: int = 1,
+                 label: str = "Filter"):
+        super().__init__(model, child.layout)
+        self.child = child
+        self.predicate_fn = predicate_fn
+        self.n_terms = n_terms
+        self.label = label
+
+    def rows(self) -> Iterator[tuple]:
+        predicate = self.predicate_fn
+        n_terms = self.n_terms
+        model = self.model
+        for row in self.child.rows():
+            model.predicate(n_terms)
+            if predicate(row) is True:
+                yield row
+
+    def describe(self) -> dict:
+        return {"op": self.label, "terms": self.n_terms,
+                "input": self.child.describe()}
+
+
+class ProjectOp(PlanOp):
+    """Computes output expressions; owns the result column names."""
+
+    def __init__(self, model: CostModel, child: PlanOp,
+                 fns: list[Callable], layout: Layout, names: list[str]):
+        super().__init__(model, layout)
+        self.child = child
+        self.fns = fns
+        self.names = names
+
+    def rows(self) -> Iterator[tuple]:
+        fns = self.fns
+        width = len(fns)
+        model = self.model
+        for row in self.child.rows():
+            model.tuple_form(width)
+            yield tuple(fn(row) for fn in fns)
+
+    def describe(self) -> dict:
+        return {"op": "Project", "columns": self.names,
+                "input": self.child.describe()}
+
+
+class HashJoinOp(PlanOp):
+    """Equi-join; builds a hash table on the right (smaller) input."""
+
+    def __init__(self, model: CostModel, left: PlanOp, right: PlanOp,
+                 left_key_fns: list[Callable], right_key_fns: list[Callable],
+                 layout: Layout):
+        super().__init__(model, layout)
+        self.left = left
+        self.right = right
+        self.left_key_fns = left_key_fns
+        self.right_key_fns = right_key_fns
+
+    def rows(self) -> Iterator[tuple]:
+        model = self.model
+        table: dict[tuple, list[tuple]] = {}
+        for row in self.right.rows():
+            key = tuple(fn(row) for fn in self.right_key_fns)
+            if any(part is None for part in key):
+                continue  # NULL never joins
+            model.hash_probe(1)
+            table.setdefault(key, []).append(row)
+        for row in self.left.rows():
+            key = tuple(fn(row) for fn in self.left_key_fns)
+            model.hash_probe(1)
+            if any(part is None for part in key):
+                continue
+            for match in table.get(key, ()):
+                yield row + match
+
+    def describe(self) -> dict:
+        return {"op": "HashJoin", "keys": len(self.left_key_fns),
+                "left": self.left.describe(),
+                "right": self.right.describe()}
+
+
+class NestedLoopJoinOp(PlanOp):
+    """Cross product with optional residual predicate (non-equi joins)."""
+
+    def __init__(self, model: CostModel, left: PlanOp, right: PlanOp,
+                 layout: Layout, predicate_fn: Callable | None = None,
+                 n_terms: int = 0):
+        super().__init__(model, layout)
+        self.left = left
+        self.right = right
+        self.predicate_fn = predicate_fn
+        self.n_terms = n_terms
+
+    def rows(self) -> Iterator[tuple]:
+        model = self.model
+        right_rows = list(self.right.rows())
+        predicate = self.predicate_fn
+        for left_row in self.left.rows():
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if predicate is not None:
+                    model.predicate(max(self.n_terms, 1))
+                    if predicate(combined) is not True:
+                        continue
+                yield combined
+
+    def describe(self) -> dict:
+        return {"op": "NestedLoopJoin", "terms": self.n_terms,
+                "left": self.left.describe(),
+                "right": self.right.describe()}
+
+
+class HashSemiJoinOp(PlanOp):
+    """EXISTS / NOT EXISTS with an equality correlation (TPC-H Q4)."""
+
+    def __init__(self, model: CostModel, outer: PlanOp, inner: PlanOp,
+                 outer_key_fns: list[Callable], inner_key_fns: list[Callable],
+                 negated: bool = False):
+        super().__init__(model, outer.layout)
+        self.outer = outer
+        self.inner = inner
+        self.outer_key_fns = outer_key_fns
+        self.inner_key_fns = inner_key_fns
+        self.negated = negated
+
+    def rows(self) -> Iterator[tuple]:
+        model = self.model
+        keys: set[tuple] = set()
+        for row in self.inner.rows():
+            key = tuple(fn(row) for fn in self.inner_key_fns)
+            if any(part is None for part in key):
+                continue
+            model.hash_probe(1)
+            keys.add(key)
+        for row in self.outer.rows():
+            key = tuple(fn(row) for fn in self.outer_key_fns)
+            model.hash_probe(1)
+            matched = (not any(part is None for part in key)) and key in keys
+            if matched != self.negated:
+                yield row
+
+    def describe(self) -> dict:
+        return {"op": "HashSemiJoin", "negated": self.negated,
+                "outer": self.outer.describe(),
+                "inner": self.inner.describe()}
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+@dataclass
+class AggSpec:
+    """One aggregate to compute: func, compiled argument, identity key."""
+
+    func: str                       # sum | avg | min | max | count | count_star
+    arg_fn: Optional[Callable]      # None for count(*)
+    key: str                        # expr_key of the FuncCall node
+    distinct: bool = False
+
+
+class _Accumulator:
+    __slots__ = ("func", "distinct", "total", "count", "extreme", "seen")
+
+    def __init__(self, func: str, distinct: bool):
+        self.func = func
+        self.distinct = distinct
+        self.total = None
+        self.count = 0
+        self.extreme = None
+        self.seen = set() if distinct else None
+
+    def update(self, value) -> None:
+        func = self.func
+        if func == "count_star":
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        if func == "count":
+            self.count += 1
+        elif func in ("sum", "avg"):
+            self.total = value if self.total is None else self.total + value
+            self.count += 1
+        elif func == "min":
+            if self.extreme is None or value < self.extreme:
+                self.extreme = value
+        elif func == "max":
+            if self.extreme is None or value > self.extreme:
+                self.extreme = value
+        else:
+            raise ExecutionError(f"unknown aggregate {func!r}")
+
+    def result(self):
+        if self.func in ("count", "count_star"):
+            return self.count
+        if self.func == "sum":
+            return self.total
+        if self.func == "avg":
+            return None if self.count == 0 else self.total / self.count
+        return self.extreme
+
+
+class HashAggregateOp(PlanOp):
+    """Hash-based grouping (chosen when statistics predict few groups)."""
+
+    strategy = "hash"
+
+    def __init__(self, model: CostModel, child: PlanOp,
+                 group_fns: list[Callable], aggs: list[AggSpec],
+                 layout: Layout):
+        super().__init__(model, layout)
+        self.child = child
+        self.group_fns = group_fns
+        self.aggs = aggs
+
+    def _consume(self, ordered_rows: Iterator[tuple] | None = None):
+        model = self.model
+        rows = ordered_rows if ordered_rows is not None else self.child.rows()
+        groups: dict[tuple, tuple[tuple, list[_Accumulator]]] = {}
+        n_aggs = len(self.aggs)
+        for row in rows:
+            key = tuple(fn(row) for fn in self.group_fns)
+            model.hash_probe(1)
+            entry = groups.get(key)
+            if entry is None:
+                entry = (key, [_Accumulator(a.func, a.distinct)
+                               for a in self.aggs])
+                groups[key] = entry
+            accumulators = entry[1]
+            if n_aggs:
+                model.aggregate(n_aggs)
+                for spec, acc in zip(self.aggs, accumulators):
+                    acc.update(spec.arg_fn(row) if spec.arg_fn else None)
+        return groups
+
+    def rows(self) -> Iterator[tuple]:
+        groups = self._consume()
+        if not groups and not self.group_fns:
+            # Global aggregate over empty input: one all-identity row.
+            empty = [_Accumulator(a.func, a.distinct) for a in self.aggs]
+            yield tuple(acc.result() for acc in empty)
+            return
+        for key, accumulators in groups.values():
+            yield key + tuple(acc.result() for acc in accumulators)
+
+    def describe(self) -> dict:
+        return {"op": "Aggregate", "strategy": self.strategy,
+                "groups": len(self.group_fns), "aggs": len(self.aggs),
+                "input": self.child.describe()}
+
+
+class SortAggregateOp(HashAggregateOp):
+    """Sort-then-group aggregation — the plan PostgreSQL falls back to
+    without statistics (the mechanism behind Figure 12's 3x gap)."""
+
+    strategy = "sort"
+
+    def rows(self) -> Iterator[tuple]:
+        materialized = list(self.child.rows())
+        n = len(materialized)
+        if n > 1:
+            self.model.sort_compare(n * max(1.0, math.log2(n)))
+            group_fns = self.group_fns
+            materialized.sort(key=lambda row: tuple(
+                _null_safe(fn(row)) for fn in group_fns))
+        groups = self._consume(iter(materialized))
+        if not groups and not self.group_fns:
+            empty = [_Accumulator(a.func, a.distinct) for a in self.aggs]
+            yield tuple(acc.result() for acc in empty)
+            return
+        for key, accumulators in groups.values():
+            yield key + tuple(acc.result() for acc in accumulators)
+
+
+def _null_safe(value):
+    """A sort key that tolerates NULLs (None sorts last)."""
+    return (value is None, 0 if value is None else value)
+
+
+class SortOp(PlanOp):
+    """ORDER BY: stable multi-key sort with per-key direction."""
+
+    def __init__(self, model: CostModel, child: PlanOp,
+                 key_fns: list[Callable], descending: list[bool]):
+        super().__init__(model, child.layout)
+        self.child = child
+        self.key_fns = key_fns
+        self.descending = descending
+
+    def rows(self) -> Iterator[tuple]:
+        materialized = list(self.child.rows())
+        n = len(materialized)
+        if n > 1:
+            self.model.sort_compare(
+                n * max(1.0, math.log2(n)) * len(self.key_fns))
+            # Stable sorts applied from the least-significant key backward.
+            for fn, desc in reversed(list(zip(self.key_fns,
+                                              self.descending))):
+                materialized.sort(
+                    key=lambda row, fn=fn: _null_safe(fn(row)),
+                    reverse=desc)
+        yield from materialized
+
+    def describe(self) -> dict:
+        return {"op": "Sort", "keys": len(self.key_fns),
+                "input": self.child.describe()}
+
+
+class LimitOp(PlanOp):
+    def __init__(self, model: CostModel, child: PlanOp, limit: int):
+        super().__init__(model, child.layout)
+        self.child = child
+        self.limit = limit
+
+    def rows(self) -> Iterator[tuple]:
+        if self.limit <= 0:
+            return
+        emitted = 0
+        for row in self.child.rows():
+            yield row
+            emitted += 1
+            if emitted >= self.limit:
+                return
+
+    def describe(self) -> dict:
+        return {"op": "Limit", "n": self.limit,
+                "input": self.child.describe()}

@@ -1,0 +1,218 @@
+"""Statistics-driven plan choices (join order, aggregation strategy).
+
+With statistics (loaded engines after ANALYZE; PostgresRaw after its
+on-the-fly collection, §4.4) the optimizer estimates scan cardinalities
+and orders joins greedily. Without statistics it falls back to defaults
+— and, like PostgreSQL, to pessimistic sort-based aggregation, which is
+the plan difference behind Figure 12.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    InList,
+    IsNull,
+    LikeExpr,
+    Literal,
+    UnaryOp,
+)
+from repro.sql.catalog import TableInfo
+from repro.sql.expressions import compile_expr
+from repro.sql.stats import ColumnStats, TableStats
+
+DEFAULT_ROWS = 1000.0
+DEFAULT_EQ_SEL = 0.005
+DEFAULT_RANGE_SEL = 1.0 / 3.0
+DEFAULT_LIKE_SEL = 0.1
+DEFAULT_JOIN_SEL = 0.01
+HASH_AGG_MAX_GROUPS = 100_000
+
+
+def _constant_value(expr):
+    """Evaluate a constant expression (literals, date arithmetic); None
+    when the expression is not constant."""
+    try:
+        fn = compile_expr(expr, lambda node: None)
+        return fn(())
+    except Exception:
+        return None
+
+
+class Optimizer:
+    """Cardinality estimation + plan-shape decisions for one query."""
+
+    def __init__(self, use_stats: bool = True):
+        self.use_stats = use_stats
+
+    # -- cardinalities ---------------------------------------------------
+    def base_rows(self, info: TableInfo) -> float:
+        if self.use_stats and info.stats is not None and info.stats.row_count:
+            return float(info.stats.row_count)
+        if info.row_count_hint:
+            return float(info.row_count_hint)
+        return DEFAULT_ROWS
+
+    def scan_rows(self, info: TableInfo, pushed_conjuncts: list) -> float:
+        rows = self.base_rows(info)
+        for conjunct in pushed_conjuncts:
+            rows *= self.conjunct_selectivity(info, conjunct)
+        return max(rows, 1.0)
+
+    def _column_stats(self, info: TableInfo, name: str) -> ColumnStats | None:
+        if not self.use_stats or info.stats is None:
+            return None
+        return info.stats.column(name)
+
+    def conjunct_selectivity(self, info: TableInfo, conjunct) -> float:
+        """Estimated fraction of rows passing one conjunct."""
+        if isinstance(conjunct, UnaryOp) and conjunct.op == "not":
+            return max(0.0, 1.0 - self.conjunct_selectivity(
+                info, conjunct.operand))
+        if isinstance(conjunct, BinaryOp):
+            if conjunct.op == "or":
+                lhs = self.conjunct_selectivity(info, conjunct.left)
+                rhs = self.conjunct_selectivity(info, conjunct.right)
+                return min(1.0, lhs + rhs - lhs * rhs)
+            if conjunct.op == "and":
+                return (self.conjunct_selectivity(info, conjunct.left)
+                        * self.conjunct_selectivity(info, conjunct.right))
+            if conjunct.op in ("=", "<>", "<", "<=", ">", ">="):
+                return self._comparison_selectivity(info, conjunct)
+        if isinstance(conjunct, Between):
+            return self._between_selectivity(info, conjunct)
+        if isinstance(conjunct, InList):
+            ref = conjunct.operand
+            total = 0.0
+            for item in conjunct.items:
+                value = _constant_value(item)
+                total += self._eq_selectivity(info, ref, value)
+            total = min(1.0, total)
+            return 1.0 - total if conjunct.negated else total
+        if isinstance(conjunct, LikeExpr):
+            sel = DEFAULT_LIKE_SEL
+            return 1.0 - sel if conjunct.negated else sel
+        if isinstance(conjunct, IsNull):
+            stats = (self._column_stats(info, conjunct.operand.name)
+                     if isinstance(conjunct.operand, ColumnRef) else None)
+            null_frac = stats.null_frac if stats else 0.01
+            return 1.0 - null_frac if conjunct.negated else null_frac
+        return DEFAULT_RANGE_SEL
+
+    def _comparison_selectivity(self, info: TableInfo,
+                                comparison: BinaryOp) -> float:
+        ref, value, op = self._normalize_comparison(comparison)
+        if ref is None:
+            return DEFAULT_RANGE_SEL
+        if op == "=":
+            return self._eq_selectivity(info, ref, value)
+        if op == "<>":
+            return 1.0 - self._eq_selectivity(info, ref, value)
+        stats = self._column_stats(info, ref.name)
+        if stats is None or value is None:
+            return DEFAULT_RANGE_SEL
+        return stats.selectivity_range(op, value)
+
+    def _normalize_comparison(self, comparison: BinaryOp):
+        """Return (column_ref, constant_value, op) with the column on the
+        left, or (None, None, op) when not a col-vs-const comparison."""
+        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=",
+                "<>": "<>"}
+        left, right, op = comparison.left, comparison.right, comparison.op
+        if isinstance(left, ColumnRef) and not isinstance(right, ColumnRef):
+            return left, _constant_value(right), op
+        if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
+            return right, _constant_value(left), flip[op]
+        return None, None, op
+
+    def _eq_selectivity(self, info: TableInfo, ref, value) -> float:
+        if not isinstance(ref, ColumnRef):
+            return DEFAULT_EQ_SEL
+        stats = self._column_stats(info, ref.name)
+        if stats is None:
+            return DEFAULT_EQ_SEL
+        if value is None:
+            return 1.0 / max(stats.n_distinct, 1.0)
+        return stats.selectivity_eq(value)
+
+    def _between_selectivity(self, info: TableInfo,
+                             between: Between) -> float:
+        if not isinstance(between.operand, ColumnRef):
+            return DEFAULT_RANGE_SEL
+        stats = self._column_stats(info, between.operand.name)
+        low = _constant_value(between.low)
+        high = _constant_value(between.high)
+        if stats is None or low is None or high is None:
+            sel = 0.1
+        else:
+            below_high = stats.selectivity_range("<=", high)
+            below_low = stats.selectivity_range("<", low)
+            sel = max(0.0005, below_high - below_low)
+        return max(0.0, 1.0 - sel) if between.negated else sel
+
+    # -- join ordering ------------------------------------------------------
+    def join_output_rows(self, left_rows: float, right_rows: float,
+                         edges: int) -> float:
+        """Estimated output of joining two inputs over ``edges`` equality
+        predicates (each contributes the default join selectivity; with
+        column ndistinct this could be refined, but shapes do not hinge
+        on it)."""
+        selectivity = DEFAULT_JOIN_SEL ** max(edges, 0) if edges else 1.0
+        return max(1.0, left_rows * right_rows * selectivity)
+
+    def order_bindings(self, names: list[str], est_rows: dict[str, float],
+                       edges: set[tuple[str, str]]) -> list[str]:
+        """Greedy left-deep join order: start with the smallest relation,
+        repeatedly join the connected relation that minimizes the
+        estimated intermediate size (unconnected relations last)."""
+        if len(names) <= 1:
+            return list(names)
+        remaining = set(names)
+        start = min(remaining, key=lambda n: est_rows[n])
+        order = [start]
+        remaining.discard(start)
+        current_rows = est_rows[start]
+        bound = {start}
+        while remaining:
+            best = None
+            best_rows = None
+            for candidate in sorted(remaining):
+                edge_count = sum(
+                    1 for a, b in edges
+                    if (a in bound and b == candidate)
+                    or (b in bound and a == candidate))
+                if edge_count == 0:
+                    continue
+                out = self.join_output_rows(current_rows,
+                                            est_rows[candidate], edge_count)
+                if best_rows is None or out < best_rows:
+                    best, best_rows = candidate, out
+            if best is None:  # disconnected: take the smallest remaining
+                best = min(remaining, key=lambda n: est_rows[n])
+                best_rows = current_rows * est_rows[best]
+            order.append(best)
+            bound.add(best)
+            remaining.discard(best)
+            current_rows = best_rows
+        return order
+
+    # -- aggregation strategy ----------------------------------------------
+    def agg_strategy(self, info_for_group_cols: list[tuple[TableInfo, str]],
+                     input_rows: float, has_group_by: bool) -> str:
+        """'hash' when statistics can bound the number of groups (or when
+        there is no GROUP BY at all); otherwise 'sort' — PostgreSQL's
+        pessimistic fallback when it cannot estimate group counts."""
+        if not has_group_by:
+            return "hash"
+        if not self.use_stats:
+            return "sort"
+        est_groups = 1.0
+        for info, column_name in info_for_group_cols:
+            stats = self._column_stats(info, column_name)
+            if stats is None:
+                return "sort"
+            est_groups *= max(stats.n_distinct, 1.0)
+        est_groups = min(est_groups, input_rows)
+        return "hash" if est_groups <= HASH_AGG_MAX_GROUPS else "sort"

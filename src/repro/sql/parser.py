@@ -1,0 +1,356 @@
+"""Recursive-descent SQL parser producing :mod:`repro.sql.ast_nodes`."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    IntervalLiteral,
+    IsNull,
+    LikeExpr,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.datatypes import DATE
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
+_INTERVAL_UNITS = {"day", "month", "year"}
+
+
+def parse(sql: str) -> Select:
+    """Parse one SELECT statement (trailing ``;`` allowed)."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+def parse_expression(sql: str) -> Expr:
+    """Parse a standalone scalar/boolean expression (used by tests)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+    def peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type != TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *names: str) -> Token | None:
+        if self.peek().is_keyword(*names):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.advance()
+        if not token.is_keyword(*names):
+            raise ParseError(
+                f"expected {'/'.join(names).upper()}, got {token.value!r}",
+                token)
+        return token
+
+    def accept_punct(self, value: str) -> bool:
+        if self.peek().type == TokenType.PUNCT and self.peek().value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        token = self.advance()
+        if token.type != TokenType.PUNCT or token.value != value:
+            raise ParseError(f"expected {value!r}, got {token.value!r}", token)
+
+    def accept_operator(self, *values: str) -> Token | None:
+        token = self.peek()
+        if token.type == TokenType.OPERATOR and token.value in values:
+            return self.advance()
+        return None
+
+    def expect_eof(self) -> None:
+        self.accept_punct(";")
+        token = self.peek()
+        if token.type != TokenType.EOF:
+            raise ParseError(f"unexpected trailing input: {token.value!r}",
+                             token)
+
+    # -- statement ---------------------------------------------------------
+    def parse_statement(self) -> Select:
+        select = self.parse_select()
+        self.expect_eof()
+        return select
+
+    def parse_select(self) -> Select:
+        self.expect_keyword("select")
+        select = Select()
+        select.items = self._parse_select_items()
+        self.expect_keyword("from")
+        extra_conjuncts: list[Expr] = []
+        select.tables = self._parse_table_refs(extra_conjuncts)
+        if self.accept_keyword("where"):
+            select.where = self.parse_expr()
+        for conjunct in extra_conjuncts:
+            select.where = (conjunct if select.where is None
+                            else BinaryOp("and", select.where, conjunct))
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            select.group_by = self._parse_expr_list()
+        if self.accept_keyword("having"):
+            select.having = self.parse_expr()
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            select.order_by = self._parse_order_items()
+        if self.accept_keyword("limit"):
+            token = self.advance()
+            if token.type != TokenType.NUMBER or "." in token.value:
+                raise ParseError("LIMIT expects an integer", token)
+            select.limit = int(token.value)
+        return select
+
+    def _parse_select_items(self) -> list[SelectItem]:
+        items = [self._parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self.accept_operator("*"):
+            return SelectItem(Star())
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            token = self.advance()
+            if token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                raise ParseError("expected alias after AS", token)
+            alias = token.value
+        elif self.peek().type == TokenType.IDENT:
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def _parse_table_refs(self, extra_conjuncts: list[Expr]) -> list[TableRef]:
+        tables = [self._parse_table_ref()]
+        while True:
+            if self.accept_punct(","):
+                tables.append(self._parse_table_ref())
+                continue
+            if self.peek().is_keyword("join", "inner"):
+                self.accept_keyword("inner")
+                self.expect_keyword("join")
+                tables.append(self._parse_table_ref())
+                self.expect_keyword("on")
+                extra_conjuncts.append(self.parse_expr())
+                continue
+            return tables
+
+    def _parse_table_ref(self) -> TableRef:
+        token = self.advance()
+        if token.type != TokenType.IDENT:
+            raise ParseError(f"expected table name, got {token.value!r}",
+                             token)
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.advance().value
+        elif self.peek().type == TokenType.IDENT:
+            alias = self.advance().value
+        return TableRef(token.value, alias)
+
+    def _parse_expr_list(self) -> list[Expr]:
+        exprs = [self.parse_expr()]
+        while self.accept_punct(","):
+            exprs.append(self.parse_expr())
+        return exprs
+
+    def _parse_order_items(self) -> list[OrderItem]:
+        items = []
+        while True:
+            expr = self.parse_expr()
+            descending = False
+            if self.accept_keyword("desc"):
+                descending = True
+            else:
+                self.accept_keyword("asc")
+            items.append(OrderItem(expr, descending))
+            if not self.accept_punct(","):
+                return items
+
+    # -- expressions ---------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            left = BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.accept_keyword("and"):
+            left = BinaryOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return UnaryOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        op_token = self.accept_operator(*_COMPARISON_OPS)
+        if op_token:
+            return BinaryOp(op_token.value, left, self._parse_additive())
+        negated = bool(self.accept_keyword("not"))
+        if self.accept_keyword("between"):
+            low = self._parse_additive()
+            self.expect_keyword("and")
+            high = self._parse_additive()
+            return Between(left, low, high, negated)
+        if self.accept_keyword("in"):
+            self.expect_punct("(")
+            items = tuple(self._parse_expr_list())
+            self.expect_punct(")")
+            return InList(left, items, negated)
+        if self.accept_keyword("like"):
+            token = self.advance()
+            if token.type != TokenType.STRING:
+                raise ParseError("LIKE expects a string pattern", token)
+            return LikeExpr(left, token.value, negated)
+        if negated:
+            raise ParseError("NOT must be followed by BETWEEN/IN/LIKE here",
+                             self.peek())
+        if self.accept_keyword("is"):
+            is_negated = bool(self.accept_keyword("not"))
+            self.expect_keyword("null")
+            return IsNull(left, is_negated)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.accept_operator("+", "-")
+            if not token:
+                return left
+            left = BinaryOp(token.value, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.accept_operator("*", "/")
+            if not token:
+                return left
+            left = BinaryOp(token.value, left, self._parse_unary())
+
+    def _parse_unary(self) -> Expr:
+        if self.accept_operator("-"):
+            return UnaryOp("-", self._parse_unary())
+        self.accept_operator("+")
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.type == TokenType.NUMBER:
+            self.advance()
+            if "." in token.value or "e" in token.value or "E" in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+        if token.type == TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("true"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("null"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("date"):
+            self.advance()
+            value = self.advance()
+            if value.type != TokenType.STRING:
+                raise ParseError("DATE expects a string literal", value)
+            return Literal(DATE.parse(value.value))
+        if token.is_keyword("interval"):
+            self.advance()
+            value = self.advance()
+            if value.type != TokenType.STRING:
+                raise ParseError("INTERVAL expects a quoted amount", value)
+            unit = self.advance()
+            if unit.value not in _INTERVAL_UNITS:
+                raise ParseError(f"unknown interval unit {unit.value!r}", unit)
+            return IntervalLiteral(int(value.value), unit.value)
+        if token.is_keyword("exists"):
+            self.advance()
+            self.expect_punct("(")
+            subquery = self.parse_select()
+            self.expect_punct(")")
+            return Exists(subquery)
+        if token.is_keyword("case"):
+            return self._parse_case()
+        if token.type == TokenType.PUNCT and token.value == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.type == TokenType.IDENT:
+            return self._parse_identifier()
+        raise ParseError(f"unexpected token {token.value!r}", token)
+
+    def _parse_case(self) -> Expr:
+        self.expect_keyword("case")
+        whens: list[tuple[Expr, Expr]] = []
+        while self.accept_keyword("when"):
+            condition = self.parse_expr()
+            self.expect_keyword("then")
+            whens.append((condition, self.parse_expr()))
+        if not whens:
+            raise ParseError("CASE needs at least one WHEN", self.peek())
+        else_result = None
+        if self.accept_keyword("else"):
+            else_result = self.parse_expr()
+        self.expect_keyword("end")
+        return CaseExpr(tuple(whens), else_result)
+
+    def _parse_identifier(self) -> Expr:
+        name = self.advance().value
+        if self.accept_punct("."):
+            column = self.advance()
+            if column.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                raise ParseError("expected column after '.'", column)
+            return ColumnRef(column.value, table=name)
+        if self.peek().type == TokenType.PUNCT and self.peek().value == "(":
+            self.advance()
+            distinct = bool(self.accept_keyword("distinct"))
+            args: tuple
+            if self.accept_operator("*"):
+                args = (Star(),)
+            elif (self.peek().type == TokenType.PUNCT
+                    and self.peek().value == ")"):
+                args = ()
+            else:
+                args = tuple(self._parse_expr_list())
+            self.expect_punct(")")
+            return FuncCall(name.lower(), args, distinct)
+        return ColumnRef(name)

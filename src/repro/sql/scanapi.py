@@ -1,0 +1,52 @@
+"""The contract between plan leaves and access methods.
+
+The planner pushes (a) the list of file-attribute indexes a query needs
+and (b) the single-table part of the WHERE clause down to the access
+method. PostgresRaw's raw scan exploits both: selective tokenizing stops
+at the largest needed attribute, and selective parsing converts SELECT
+attributes only for tuples that pass the predicate (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Protocol, Sequence
+
+
+@dataclass
+class ScanPredicate:
+    """A compiled single-table predicate.
+
+    ``fn`` receives a dict mapping file-attribute index -> converted
+    value (only ``attrs`` are present) and returns SQL-boolean
+    (True/False/None). ``n_terms`` is the number of conjuncts, used for
+    cost charging. ``conjuncts`` keeps the original ASTs so the
+    optimizer can estimate selectivity.
+    """
+
+    attrs: list[int]
+    fn: Callable[[dict[int, object]], Optional[bool]]
+    n_terms: int = 1
+    conjuncts: list = field(default_factory=list)
+
+    def passes(self, values: dict[int, object]) -> bool:
+        return self.fn(values) is True
+
+
+class AccessMethod(Protocol):
+    """How a plan leaf obtains tuples of one table.
+
+    Implementations: RawCsvAccess (in-situ, §4), HeapAccess (loaded
+    binary pages), ExternalAccess (external-files straw-man),
+    RawFitsAccess (§5.3).
+    """
+
+    def scan(self, needed: Sequence[int],
+             predicate: ScanPredicate | None) -> Iterator[tuple]:
+        """Yield tuples of the values of ``needed`` attributes (in that
+        order) for every row passing ``predicate``."""
+        ...
+
+    def estimated_rows(self) -> int | None:
+        """Best-effort row count for the optimizer (None if unknown)."""
+        ...

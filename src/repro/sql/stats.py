@@ -1,0 +1,177 @@
+"""Optimizer statistics.
+
+The same structures serve both worlds the paper compares: loaded engines
+build them at load time (ANALYZE), PostgresRaw builds them adaptively
+during scans (§4.4) — only for attributes queries have actually touched.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+_DEFAULT_EQ_SELECTIVITY = 0.005
+_DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+_MCV_KEEP = 10
+_HISTOGRAM_BUCKETS = 10
+
+
+def _is_orderable(value) -> bool:
+    return isinstance(value, (int, float, datetime.date, str)) and not isinstance(
+        value, bool)
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column, built from a sample.
+
+    ``n_distinct`` uses the Haas–Stokes "duj1" estimator PostgreSQL also
+    uses: d = n*D / (n - f1 + f1*n/N), where D = sample distincts, f1 =
+    values seen exactly once, n = sample size, N = row count.
+    """
+
+    name: str
+    null_frac: float = 0.0
+    n_distinct: float = 1.0
+    min_value: object | None = None
+    max_value: object | None = None
+    #: most common values: list of (value, fraction-of-rows)
+    mcv: list[tuple[object, float]] = field(default_factory=list)
+    #: equi-depth histogram bounds (ascending), len = buckets + 1
+    histogram: list = field(default_factory=list)
+
+    # -- selectivity estimation --------------------------------------------
+    def selectivity_eq(self, value) -> float:
+        for mcv_value, frac in self.mcv:
+            if mcv_value == value:
+                return frac
+        mcv_total = sum(frac for _, frac in self.mcv)
+        rest_distinct = max(self.n_distinct - len(self.mcv), 1.0)
+        return max(0.0, (1.0 - mcv_total - self.null_frac)) / rest_distinct
+
+    def selectivity_range(self, op: str, value) -> float:
+        """Selectivity of ``col <op> value`` for ``op`` in <,<=,>,>=."""
+        if (self.min_value is None or self.max_value is None
+                or not _is_orderable(value)):
+            return _DEFAULT_RANGE_SELECTIVITY
+        lo, hi = self.min_value, self.max_value
+        try:
+            if op in ("<", "<="):
+                if value <= lo:
+                    return 0.0
+                if value >= hi:
+                    return 1.0
+            else:
+                if value >= hi:
+                    return 0.0
+                if value <= lo:
+                    return 1.0
+            frac_below = self._fraction_below(value)
+        except TypeError:
+            return _DEFAULT_RANGE_SELECTIVITY
+        if op in ("<", "<="):
+            return min(1.0, max(0.0, frac_below))
+        return min(1.0, max(0.0, 1.0 - frac_below))
+
+    def _fraction_below(self, value) -> float:
+        if self.histogram and len(self.histogram) >= 2:
+            bounds = self.histogram
+            buckets = len(bounds) - 1
+            if value <= bounds[0]:
+                return 0.0
+            if value >= bounds[-1]:
+                return 1.0
+            for i in range(buckets):
+                if bounds[i] <= value <= bounds[i + 1]:
+                    width = _numeric_gap(bounds[i], bounds[i + 1])
+                    into = _numeric_gap(bounds[i], value)
+                    frac_in_bucket = into / width if width > 0 else 0.5
+                    return (i + frac_in_bucket) / buckets
+            return 1.0
+        width = _numeric_gap(self.min_value, self.max_value)
+        if width <= 0:
+            return 0.5
+        return _numeric_gap(self.min_value, value) / width
+
+    def merge_sample(self, sample: list, row_count: int,
+                     null_count: int, seen_count: int) -> None:
+        """Recompute this column's stats from a fresh sample.
+
+        ``seen_count`` is how many values (incl. nulls) the sample was
+        drawn from; ``row_count`` the table's total rows.
+        """
+        self.null_frac = null_count / seen_count if seen_count else 0.0
+        non_null = [v for v in sample if v is not None]
+        if not non_null:
+            self.n_distinct = 0.0
+            return
+        orderable = all(_is_orderable(v) for v in non_null)
+        if orderable:
+            ordered = sorted(non_null)
+            self.min_value = ordered[0]
+            self.max_value = ordered[-1]
+        else:
+            ordered = non_null
+        counts: dict = {}
+        for v in non_null:
+            counts[v] = counts.get(v, 0) + 1
+        sample_distinct = len(counts)
+        f1 = sum(1 for c in counts.values() if c == 1)
+        n = len(non_null)
+        total = max(row_count, n)
+        if f1 == n:
+            # Every sampled value unique: assume the column scales with N.
+            self.n_distinct = float(total)
+        else:
+            denom = n - f1 + f1 * n / total
+            self.n_distinct = min(float(total),
+                                  max(1.0, n * sample_distinct / denom))
+        common = sorted(counts.items(), key=lambda kv: -kv[1])[:_MCV_KEEP]
+        self.mcv = [(v, c / n) for v, c in common if c > 1]
+        if orderable and sample_distinct > _HISTOGRAM_BUCKETS:
+            self.histogram = [
+                ordered[min(len(ordered) - 1,
+                            round(i * (len(ordered) - 1) / _HISTOGRAM_BUCKETS))]
+                for i in range(_HISTOGRAM_BUCKETS + 1)
+            ]
+        else:
+            self.histogram = []
+
+
+def _numeric_gap(lo, hi) -> float:
+    """Distance between two orderable values, for interpolation."""
+    if isinstance(lo, datetime.date) and isinstance(hi, datetime.date):
+        return float((hi - lo).days)
+    if isinstance(lo, str) or isinstance(hi, str):
+        # Compare on the first few bytes, like PostgreSQL's convert_string.
+        return float(_string_rank(hi) - _string_rank(lo))
+    return float(hi) - float(lo)
+
+
+def _string_rank(s: str) -> float:
+    rank = 0.0
+    for i, ch in enumerate(s[:6]):
+        rank += ord(ch) / (256.0 ** (i + 1))
+    return rank
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table: row count + per-column stats.
+
+    For PostgresRaw, ``columns`` only contains attributes some query has
+    requested so far — "statistics are incrementally augmented to
+    represent bigger subsets of the data" (§4.4).
+    """
+
+    row_count: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name.lower())
+
+    def set_column(self, stats: ColumnStats) -> None:
+        self.columns[stats.name.lower()] = stats
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self.columns

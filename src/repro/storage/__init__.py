@@ -1,0 +1,26 @@
+"""Storage substrate: virtual filesystem, slotted pages, heap files.
+
+This package plays the role PostgreSQL's storage layer plays in the
+paper: raw files live on a :class:`VirtualFS` whose reads are priced by
+the cost model (cold vs OS-cache-warm), and loaded engines store binary
+tuples in slotted pages inside heap files behind a buffer pool.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.record import RecordCodec
+from repro.storage.toast import ToastReader, ToastWriter
+from repro.storage.vfs import OSPageCache, VirtualFS
+
+__all__ = [
+    "VirtualFS",
+    "OSPageCache",
+    "SlottedPage",
+    "PAGE_SIZE",
+    "HeapFile",
+    "BufferPool",
+    "RecordCodec",
+    "ToastReader",
+    "ToastWriter",
+]

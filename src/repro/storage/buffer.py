@@ -1,0 +1,69 @@
+"""Buffer pool: the DBMS-side page cache for loaded engines.
+
+Distinct from the simulated OS page cache in the VFS — a buffer-pool hit
+avoids the disk entirely (no I/O charge), while a miss performs a costed
+VFS read (which may itself be warm or cold at the OS level). This
+two-level arrangement matches the paper's comparators, whose "cold
+buffer caches" are called out explicitly in §5.1.4.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import StorageError
+from repro.simcost.model import CostModel
+from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.vfs import VirtualFS
+
+
+class BufferPool:
+    """LRU pool of decoded :class:`SlottedPage` objects."""
+
+    def __init__(self, vfs: VirtualFS, model: CostModel,
+                 capacity_pages: int = 1024):
+        if capacity_pages <= 0:
+            raise StorageError("buffer pool needs at least one page")
+        self.vfs = vfs
+        self.model = model
+        self.capacity_pages = capacity_pages
+        self._pages: OrderedDict[tuple[str, int], SlottedPage] = OrderedDict()
+        self._handles: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_page(self, path: str, page_index: int) -> SlottedPage:
+        """Fetch a page, reading through the VFS on a miss.
+
+        One persistent handle per file: consecutive page misses read
+        sequentially (a table scan does not seek between pages)."""
+        key = (path, page_index)
+        page = self._pages.get(key)
+        if page is not None:
+            self.hits += 1
+            self._pages.move_to_end(key)
+            return page
+        self.misses += 1
+        handle = self._handles.get(path)
+        if handle is None:
+            handle = self.vfs.open(path, self.model)
+            self._handles[path] = handle
+        raw = handle.read_at(page_index * PAGE_SIZE, PAGE_SIZE)
+        if len(raw) != PAGE_SIZE:
+            raise StorageError(
+                f"short page read: {path}[{page_index}] -> {len(raw)} bytes")
+        page = SlottedPage(raw)
+        self._pages[key] = page
+        while len(self._pages) > self.capacity_pages:
+            self._pages.popitem(last=False)
+        return page
+
+    def invalidate(self, path: str) -> None:
+        """Drop every buffered page of ``path``."""
+        stale = [key for key in self._pages if key[0] == path]
+        for key in stale:
+            del self._pages[key]
+
+    def clear(self) -> None:
+        """Empty the pool (models a cold restart)."""
+        self._pages.clear()

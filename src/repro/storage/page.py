@@ -1,0 +1,93 @@
+"""Slotted pages: the unit of storage for loaded engines.
+
+Layout (little-endian)::
+
+    [ tuple_count: u16 ][ free_end: u16 ]      -- 4-byte header
+    [ slot 0: offset u16, length u16 ] ...      -- slot array, grows forward
+    ...free space...
+    ...tuple data, grows backward from the end...
+
+This mirrors PostgreSQL's page shape closely enough to exhibit the
+behaviours the paper leans on (§6 "Complex Database Schemas"): a tuple
+cannot span pages, so wide tuples waste space and can overflow.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import PageFormatError
+
+PAGE_SIZE = 8192
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+
+
+class SlottedPage:
+    """One in-memory page. Use :meth:`to_bytes` to persist."""
+
+    def __init__(self, data: bytes | None = None):
+        if data is None:
+            self._buf = bytearray(PAGE_SIZE)
+            self.tuple_count = 0
+            self.free_end = PAGE_SIZE
+            self._sync_header()
+        else:
+            if len(data) != PAGE_SIZE:
+                raise PageFormatError(
+                    f"page must be exactly {PAGE_SIZE} bytes, got {len(data)}")
+            self._buf = bytearray(data)
+            self.tuple_count, self.free_end = _HEADER.unpack_from(self._buf, 0)
+            if self.free_end > PAGE_SIZE:
+                raise PageFormatError("corrupt page header: free_end past end")
+
+    def _sync_header(self) -> None:
+        _HEADER.pack_into(self._buf, 0, self.tuple_count, self.free_end)
+
+    def _slot_offset(self, slot: int) -> int:
+        return _HEADER.size + slot * _SLOT.size
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more tuple (including its slot)."""
+        used_front = self._slot_offset(self.tuple_count)
+        return max(0, self.free_end - used_front - _SLOT.size)
+
+    def has_room(self, record_length: int) -> bool:
+        return record_length <= self.free_space
+
+    def insert(self, record: bytes) -> int:
+        """Insert a record; returns its slot index.
+
+        Raises :class:`PageFormatError` when the record does not fit —
+        callers are expected to check :meth:`has_room` (the bulk loader
+        starts a fresh page; a conventional engine would error out, which
+        is the overflow behaviour §6 discusses for wide tuples).
+        """
+        if not self.has_room(len(record)):
+            raise PageFormatError(
+                f"record of {len(record)} bytes does not fit "
+                f"(free={self.free_space})")
+        self.free_end -= len(record)
+        self._buf[self.free_end:self.free_end + len(record)] = record
+        _SLOT.pack_into(self._buf, self._slot_offset(self.tuple_count),
+                        self.free_end, len(record))
+        self.tuple_count += 1
+        self._sync_header()
+        return self.tuple_count - 1
+
+    def get(self, slot: int) -> bytes:
+        """Record bytes stored at ``slot``."""
+        if not 0 <= slot < self.tuple_count:
+            raise PageFormatError(f"slot {slot} out of range "
+                                  f"(page has {self.tuple_count})")
+        offset, length = _SLOT.unpack_from(self._buf, self._slot_offset(slot))
+        return bytes(self._buf[offset:offset + length])
+
+    def records(self):
+        """Yield every record on the page in slot order."""
+        for slot in range(self.tuple_count):
+            yield self.get(slot)
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._buf)

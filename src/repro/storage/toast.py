@@ -1,0 +1,116 @@
+"""TOAST: out-of-line storage for oversized tuple values.
+
+Row stores built on slotted pages cannot let a tuple span pages; when a
+tuple outgrows the threshold, its largest variable-length values move to
+an overflow ("toast") file and the tuple keeps pointers. Queries that
+touch a toasted attribute pay an extra fetch — the §6 "Complex Database
+Schemas" pathology that makes conventional engines degrade sharply with
+wide attributes (Figure 13) while PostgresRaw, which has no page
+structure at all, does not.
+
+Pointers are encoded as strings starting with NUL (raw CSV values can
+never contain NUL — the tokenizer rejects it), so the record codec
+needs no schema changes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.simcost.model import CostModel
+from repro.storage.vfs import VirtualFS
+
+#: Tuples wider than this get their largest string values toasted
+#: (PostgreSQL's TOAST_TUPLE_THRESHOLD is ~2 KB).
+TOAST_TUPLE_THRESHOLD = 1900
+
+#: Only values at least this long are worth moving out of line.
+TOAST_VALUE_MIN = 64
+
+_MARKER = "\x00T"
+
+
+def is_pointer(value) -> bool:
+    return isinstance(value, str) and value.startswith(_MARKER)
+
+
+def make_pointer(offset: int, length: int) -> str:
+    return f"{_MARKER}{offset}:{length}"
+
+
+def parse_pointer(pointer: str) -> tuple[int, int]:
+    try:
+        offset_text, length_text = pointer[len(_MARKER):].split(":")
+        return int(offset_text), int(length_text)
+    except ValueError as exc:
+        raise StorageError(f"malformed toast pointer: {pointer!r}") from exc
+
+
+class ToastWriter:
+    """Appends values to the overflow file during bulk load."""
+
+    def __init__(self, vfs: VirtualFS, path: str, model: CostModel):
+        self.vfs = vfs
+        self.path = path
+        self.model = model
+        self._handle = None
+        self.values_written = 0
+
+    def store(self, value: str) -> str:
+        """Move ``value`` out of line; returns the pointer to keep in
+        the tuple."""
+        if self._handle is None:
+            if not self.vfs.exists(self.path):
+                self.vfs.create(self.path)
+            self._handle = self.vfs.open(self.path, self.model)
+        raw = value.encode("utf-8")
+        offset = self.vfs.size(self.path)
+        self._handle.append(raw)
+        self.values_written += 1
+        return make_pointer(offset, len(raw))
+
+
+class ToastReader:
+    """Fetches out-of-line values at query time (charged per fetch)."""
+
+    def __init__(self, vfs: VirtualFS, path: str, model: CostModel):
+        self.vfs = vfs
+        self.path = path
+        self.model = model
+        self._handle = None
+
+    def fetch(self, pointer: str) -> str:
+        offset, length = parse_pointer(pointer)
+        if self._handle is None:
+            self._handle = self.vfs.open(self.path, self.model)
+        self.model.toast_fetch(1)
+        return self._handle.read_at(offset, length).decode("utf-8")
+
+    def resolve(self, value):
+        """Pass-through for inline values; fetch for pointers."""
+        if is_pointer(value):
+            return self.fetch(value)
+        return value
+
+
+def toast_values(values: list, families: list[str],
+                 writer: ToastWriter,
+                 encoded_width,
+                 threshold: int = TOAST_TUPLE_THRESHOLD) -> list:
+    """Shrink a tuple below ``threshold`` by toasting its largest string
+    values (largest first), mirroring PostgreSQL's strategy.
+
+    ``encoded_width`` is a callable giving the record's byte size.
+    Returns the (possibly modified) values list.
+    """
+    if encoded_width(values) <= threshold:
+        return values
+    candidates = sorted(
+        (i for i, (v, fam) in enumerate(zip(values, families))
+         if fam == "str" and isinstance(v, str)
+         and len(v) >= TOAST_VALUE_MIN and not is_pointer(v)),
+        key=lambda i: -len(values[i]))
+    for index in candidates:
+        values[index] = writer.store(values[index])
+        if encoded_width(values) <= threshold:
+            break
+    return values

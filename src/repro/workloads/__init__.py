@@ -1,0 +1,33 @@
+"""Workloads: the paper's data generators and query generators.
+
+* :mod:`repro.workloads.micro` — §5.1 micro-benchmark files (uniform
+  random integers, many attributes) + §6 attribute-width variants.
+* :mod:`repro.workloads.queries` — random select-project queries,
+  selectivity/projectivity sweeps, epoch workloads (Fig 6).
+* :mod:`repro.workloads.tpch` — TPC-H schema, scaled deterministic data
+  generator, and the paper's query subset (§5.2).
+"""
+
+from repro.workloads.micro import (
+    generate_micro_csv,
+    generate_string_csv,
+    micro_schema,
+    string_schema,
+)
+from repro.workloads.queries import (
+    epoch_queries,
+    projectivity_query,
+    random_projection_query,
+    selectivity_query,
+)
+
+__all__ = [
+    "generate_micro_csv",
+    "generate_string_csv",
+    "micro_schema",
+    "string_schema",
+    "random_projection_query",
+    "selectivity_query",
+    "projectivity_query",
+    "epoch_queries",
+]

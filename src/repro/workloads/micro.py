@@ -1,0 +1,77 @@
+"""Micro-benchmark file generators (§5.1, §6).
+
+The paper's micro-benchmark file: "7.5 * 10^6 tuples. Each tuple
+contains 150 attributes with integers distributed randomly in the range
+[0 - 10^9)". Sizes here are parameters; the cost model is linear in
+them, so shapes survive downscaling (verified by the Fig 4 bench).
+
+§6's "Complex Database Schemas" experiment varies the *width* of
+(string) attributes between 16 and 64 characters —
+:func:`generate_string_csv`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sql.catalog import Column, Schema
+from repro.sql.datatypes import INTEGER, varchar
+from repro.storage.vfs import VirtualFS
+
+VALUE_RANGE = 10 ** 9
+
+
+def micro_schema(nattrs: int) -> Schema:
+    """The micro-benchmark schema: ``a1..aN`` integer attributes."""
+    return Schema([Column(f"a{i + 1}", INTEGER) for i in range(nattrs)])
+
+
+def generate_micro_csv(vfs: VirtualFS, path: str, rows: int, nattrs: int,
+                       seed: int = 0, value_range: int = VALUE_RANGE,
+                       ) -> Schema:
+    """Write the §5.1 micro file to the VFS; returns its schema."""
+    rng = random.Random(seed)
+    lines = []
+    for _ in range(rows):
+        lines.append(",".join(
+            str(rng.randrange(value_range)) for _ in range(nattrs)))
+    payload = ("\n".join(lines) + "\n").encode("ascii") if lines else b""
+    vfs.create(path, payload)
+    return micro_schema(nattrs)
+
+
+def append_micro_rows(vfs: VirtualFS, path: str, rows: int, nattrs: int,
+                      seed: int = 1, value_range: int = VALUE_RANGE) -> None:
+    """Append more rows to an existing micro file (the §4.5 external
+    append scenario)."""
+    rng = random.Random(seed)
+    lines = []
+    for _ in range(rows):
+        lines.append(",".join(
+            str(rng.randrange(value_range)) for _ in range(nattrs)))
+    if lines:
+        vfs.append_bytes(path, ("\n".join(lines) + "\n").encode("ascii"))
+
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def string_schema(nattrs: int, width: int) -> Schema:
+    """Schema of ``nattrs`` fixed-width string attributes (§6)."""
+    return Schema([Column(f"s{i + 1}", varchar(width))
+                   for i in range(nattrs)])
+
+
+def generate_string_csv(vfs: VirtualFS, path: str, rows: int, nattrs: int,
+                        width: int, seed: int = 0) -> Schema:
+    """Write a file of ``width``-character string attributes — the §6
+    attribute-width experiment (Figure 13)."""
+    rng = random.Random(seed)
+    lines = []
+    for _ in range(rows):
+        lines.append(",".join(
+            "".join(rng.choice(_ALPHABET) for _ in range(width))
+            for _ in range(nattrs)))
+    payload = ("\n".join(lines) + "\n").encode("ascii") if lines else b""
+    vfs.create(path, payload)
+    return string_schema(nattrs, width)

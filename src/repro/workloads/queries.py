@@ -1,0 +1,64 @@
+"""Query generators for the micro-benchmarks.
+
+All generators are deterministic under a seed and produce SQL strings
+over the micro schema (``a1..aN``), matching the experimental setups of
+§5.1:
+
+* Fig 3 / Fig 5: "random set of simple select project queries ... Each
+  query asks for k random attributes of the raw file. Selectivity is
+  100% as there is no WHERE clause."
+* Fig 6: epochs of queries restricted to a column region.
+* Fig 7/8: one selection predicate + aggregations on the projected
+  attributes, with selectivity and projectivity swept.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.micro import VALUE_RANGE
+
+
+def random_projection_query(rng: random.Random, table: str, nattrs: int,
+                            k: int, lo: int = 1, hi: int | None = None,
+                            ) -> str:
+    """SELECT of ``k`` random attributes drawn from columns [lo, hi]."""
+    hi = hi if hi is not None else nattrs
+    attrs = rng.sample(range(lo, hi + 1), k)
+    cols = ", ".join(f"a{i}" for i in attrs)
+    return f"SELECT {cols} FROM {table}"
+
+
+def selectivity_query(table: str, nattrs: int, selectivity: float,
+                      projectivity: float = 1.0, agg: bool = True,
+                      value_range: int = VALUE_RANGE) -> str:
+    """Fig 7/8 query shape: one WHERE predicate on a1 with the requested
+    selectivity (values are uniform in [0, value_range)), aggregations
+    over the first ``projectivity`` fraction of attributes."""
+    width = max(1, round(nattrs * projectivity))
+    threshold = int(selectivity * value_range)
+    if agg:
+        cols = ", ".join(f"sum(a{i})" for i in range(1, width + 1))
+    else:
+        cols = ", ".join(f"a{i}" for i in range(1, width + 1))
+    return f"SELECT {cols} FROM {table} WHERE a1 < {threshold}"
+
+
+def projectivity_query(table: str, nattrs: int, projectivity: float,
+                       agg: bool = True) -> str:
+    """Fig 8(b): constant 100% selectivity, varying projectivity."""
+    return selectivity_query(table, nattrs, 1.0, projectivity, agg)
+
+
+def epoch_queries(table: str, nattrs: int, epochs: list[tuple[int, int]],
+                  queries_per_epoch: int, attrs_per_query: int,
+                  seed: int = 0) -> list[str]:
+    """Fig 6 workload: ``queries_per_epoch`` random projections per
+    epoch, each epoch restricted to a column region [lo, hi]."""
+    rng = random.Random(seed)
+    out: list[str] = []
+    for lo, hi in epochs:
+        for _ in range(queries_per_epoch):
+            out.append(random_projection_query(
+                rng, table, nattrs, attrs_per_query, lo, hi))
+    return out

@@ -1,0 +1,14 @@
+"""TPC-H substrate: schema, scaled data generator, the paper's queries."""
+
+from repro.workloads.tpch.dbgen import TPCH_BASE_ROWS, generate_tpch
+from repro.workloads.tpch.queries import PAPER_QUERIES, tpch_query
+from repro.workloads.tpch.schema import TPCH_SCHEMAS, tpch_schema
+
+__all__ = [
+    "TPCH_SCHEMAS",
+    "tpch_schema",
+    "generate_tpch",
+    "TPCH_BASE_ROWS",
+    "tpch_query",
+    "PAPER_QUERIES",
+]

@@ -1,0 +1,236 @@
+"""Deterministic TPC-H data generator (scaled dbgen).
+
+Generates all eight tables as CSV files on a VFS, honouring the value
+distributions and inter-table relationships the paper's query subset
+depends on (Q1, Q3, Q4, Q6, Q10, Q12, Q14, Q19): date arithmetic
+between o_orderdate / l_shipdate / l_commitdate / l_receiptdate,
+returnflag/linestatus semantics, PROMO part types, brand/container/size
+combinations, market segments and order priorities.
+
+Row counts follow the TPC-H ratios (lineitem ~6M * SF) so micro scale
+factors keep the relative table sizes the optimizer sees at SF 10.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+
+from repro.storage.vfs import VirtualFS
+from repro.workloads.tpch.schema import TPCH_SCHEMAS
+
+#: TPC-H base cardinalities at scale factor 1.
+TPCH_BASE_ROWS = {
+    "supplier": 10_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    # lineitem: 1..7 per order, ~4 average
+}
+
+_START_DATE = datetime.date(1992, 1, 1)
+_END_DATE = datetime.date(1998, 8, 2)
+_CUTOFF = datetime.date(1995, 6, 17)  # returnflag/linestatus watershed
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+             "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+               "5-LOW"]
+_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE",
+                 "TAKE BACK RETURN"]
+_TYPE_SYL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_SYL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_CONTAINER_SYL1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+_CONTAINER_SYL2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+                   "DRUM"]
+_NOUNS = ["packages", "requests", "accounts", "deposits", "foxes",
+          "ideas", "theodolites", "pinto beans", "instructions",
+          "dependencies", "excuses", "platelets", "asymptotes",
+          "courts", "dolphins"]
+_VERBS = ["sleep", "wake", "are", "cajole", "haggle", "nag", "use",
+          "boost", "affix", "detect", "integrate", "maintain", "nod"]
+_ADJECTIVES = ["furious", "sly", "careful", "blithe", "quick", "fluffy",
+               "slow", "quiet", "ruthless", "thin", "close", "dogged"]
+
+
+def _comment(rng: random.Random) -> str:
+    return (f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} "
+            f"{rng.choice(_VERBS)}")
+
+
+def _phone(rng: random.Random, nationkey: int) -> str:
+    return (f"{10 + nationkey}-{rng.randrange(100, 1000)}-"
+            f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}")
+
+
+def _rand_date(rng: random.Random, lo: datetime.date,
+               hi: datetime.date) -> datetime.date:
+    span = (hi - lo).days
+    return lo + datetime.timedelta(rng.randrange(span + 1))
+
+
+@dataclass
+class TpchData:
+    """Handle to the generated files: table name -> VFS path."""
+
+    paths: dict[str, str] = field(default_factory=dict)
+    row_counts: dict[str, int] = field(default_factory=dict)
+
+    def path(self, table: str) -> str:
+        return self.paths[table.lower()]
+
+
+def generate_tpch(vfs: VirtualFS, scale_factor: float = 0.001,
+                  prefix: str = "tpch", seed: int = 0) -> TpchData:
+    """Generate the eight TPC-H tables at ``scale_factor`` onto ``vfs``.
+
+    ``scale_factor=0.001`` means ~6000 lineitem rows — the shapes of the
+    paper's SF-10 experiments at laptop-Python scale.
+    """
+    rng = random.Random(seed)
+    data = TpchData()
+
+    n_supplier = max(3, round(TPCH_BASE_ROWS["supplier"] * scale_factor))
+    n_part = max(5, round(TPCH_BASE_ROWS["part"] * scale_factor))
+    n_customer = max(5, round(TPCH_BASE_ROWS["customer"] * scale_factor))
+    n_orders = max(10, round(TPCH_BASE_ROWS["orders"] * scale_factor))
+
+    def emit(table: str, rows: list[list[str]]) -> None:
+        path = f"{prefix}/{table}.csv"
+        payload = ("\n".join(",".join(row) for row in rows) + "\n"
+                   ).encode("ascii") if rows else b""
+        vfs.create(path, payload)
+        data.paths[table] = path
+        data.row_counts[table] = len(rows)
+
+    # -- region / nation (fixed) ------------------------------------------
+    emit("region", [[str(i), name, _comment(rng)]
+                    for i, name in enumerate(_REGIONS)])
+    emit("nation", [[str(i), name, str(region), _comment(rng)]
+                    for i, (name, region) in enumerate(_NATIONS)])
+
+    # -- supplier ---------------------------------------------------------
+    supplier_rows = []
+    for key in range(1, n_supplier + 1):
+        nation = rng.randrange(len(_NATIONS))
+        supplier_rows.append([
+            str(key), f"Supplier#{key:09d}",
+            f"addr {rng.randrange(10 ** 6)}", str(nation),
+            _phone(rng, nation), f"{rng.uniform(-999.99, 9999.99):.2f}",
+            _comment(rng),
+        ])
+    emit("supplier", supplier_rows)
+
+    # -- part ---------------------------------------------------------------
+    part_types: list[str] = []
+    part_brands: list[str] = []
+    part_containers: list[str] = []
+    part_sizes: list[int] = []
+    part_prices: list[float] = []
+    part_rows = []
+    for key in range(1, n_part + 1):
+        ptype = (f"{rng.choice(_TYPE_SYL1)} {rng.choice(_TYPE_SYL2)} "
+                 f"{rng.choice(_TYPE_SYL3)}")
+        brand = f"Brand#{rng.randrange(1, 6)}{rng.randrange(1, 6)}"
+        container = (f"{rng.choice(_CONTAINER_SYL1)} "
+                     f"{rng.choice(_CONTAINER_SYL2)}")
+        size = rng.randrange(1, 51)
+        price = (90000 + (key % 200000) / 10.0 + 100 * (key % 1000)) / 100.0
+        part_types.append(ptype)
+        part_brands.append(brand)
+        part_containers.append(container)
+        part_sizes.append(size)
+        part_prices.append(price)
+        part_rows.append([
+            str(key), f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)}",
+            f"Manufacturer#{1 + key % 5}", brand, ptype, str(size),
+            container, f"{price:.2f}", _comment(rng),
+        ])
+    emit("part", part_rows)
+
+    # -- partsupp -----------------------------------------------------------
+    partsupp_rows = []
+    for partkey in range(1, n_part + 1):
+        for i in range(4):
+            suppkey = 1 + (partkey + i * max(1, n_supplier // 4)
+                           ) % n_supplier
+            partsupp_rows.append([
+                str(partkey), str(suppkey), str(rng.randrange(1, 10000)),
+                f"{rng.uniform(1.0, 1000.0):.2f}", _comment(rng),
+            ])
+    emit("partsupp", partsupp_rows)
+
+    # -- customer -----------------------------------------------------------
+    customer_rows = []
+    for key in range(1, n_customer + 1):
+        nation = rng.randrange(len(_NATIONS))
+        customer_rows.append([
+            str(key), f"Customer#{key:09d}",
+            f"addr {rng.randrange(10 ** 6)}", str(nation),
+            _phone(rng, nation), f"{rng.uniform(-999.99, 9999.99):.2f}",
+            rng.choice(_SEGMENTS), _comment(rng),
+        ])
+    emit("customer", customer_rows)
+
+    # -- orders + lineitem ---------------------------------------------------
+    orders_rows = []
+    lineitem_rows = []
+    for orderkey in range(1, n_orders + 1):
+        custkey = rng.randrange(1, n_customer + 1)
+        orderdate = _rand_date(rng, _START_DATE,
+                               _END_DATE - datetime.timedelta(151))
+        n_lines = rng.randrange(1, 8)
+        total = 0.0
+        all_filled = True
+        for linenumber in range(1, n_lines + 1):
+            partkey = rng.randrange(1, n_part + 1)
+            suppkey = 1 + (partkey % n_supplier)
+            quantity = rng.randrange(1, 51)
+            extended = quantity * part_prices[partkey - 1]
+            discount = rng.randrange(0, 11) / 100.0
+            tax = rng.randrange(0, 9) / 100.0
+            shipdate = orderdate + datetime.timedelta(rng.randrange(1, 122))
+            commitdate = orderdate + datetime.timedelta(rng.randrange(30, 91))
+            receiptdate = shipdate + datetime.timedelta(rng.randrange(1, 31))
+            if receiptdate <= _CUTOFF:
+                returnflag = rng.choice(["R", "A"])
+            else:
+                returnflag = "N"
+            linestatus = "O" if shipdate > _CUTOFF else "F"
+            if linestatus == "O":
+                all_filled = False
+            total += extended * (1 + tax) * (1 - discount)
+            lineitem_rows.append([
+                str(orderkey), str(partkey), str(suppkey), str(linenumber),
+                f"{float(quantity):.2f}", f"{extended:.2f}",
+                f"{discount:.2f}", f"{tax:.2f}", returnflag, linestatus,
+                shipdate.isoformat(), commitdate.isoformat(),
+                receiptdate.isoformat(), rng.choice(_INSTRUCTIONS),
+                rng.choice(_SHIPMODES), _comment(rng),
+            ])
+        orders_rows.append([
+            str(orderkey), str(custkey),
+            "F" if all_filled else "O", f"{total:.2f}",
+            orderdate.isoformat(), rng.choice(_PRIORITIES),
+            f"Clerk#{rng.randrange(1, 1001):09d}", "0", _comment(rng),
+        ])
+    emit("orders", orders_rows)
+    emit("lineitem", lineitem_rows)
+
+    for table in data.paths:
+        assert table in TPCH_SCHEMAS
+    return data

@@ -1,0 +1,91 @@
+"""TPC-H schemas (all eight tables, standard column order)."""
+
+from __future__ import annotations
+
+from repro.sql.catalog import Column, Schema
+from repro.sql.datatypes import DATE, INTEGER, char, decimal, varchar
+
+TPCH_SCHEMAS: dict[str, Schema] = {
+    "region": Schema([
+        Column("r_regionkey", INTEGER),
+        Column("r_name", char(25)),
+        Column("r_comment", varchar(152)),
+    ]),
+    "nation": Schema([
+        Column("n_nationkey", INTEGER),
+        Column("n_name", char(25)),
+        Column("n_regionkey", INTEGER),
+        Column("n_comment", varchar(152)),
+    ]),
+    "supplier": Schema([
+        Column("s_suppkey", INTEGER),
+        Column("s_name", char(25)),
+        Column("s_address", varchar(40)),
+        Column("s_nationkey", INTEGER),
+        Column("s_phone", char(15)),
+        Column("s_acctbal", decimal(15, 2)),
+        Column("s_comment", varchar(101)),
+    ]),
+    "part": Schema([
+        Column("p_partkey", INTEGER),
+        Column("p_name", varchar(55)),
+        Column("p_mfgr", char(25)),
+        Column("p_brand", char(10)),
+        Column("p_type", varchar(25)),
+        Column("p_size", INTEGER),
+        Column("p_container", char(10)),
+        Column("p_retailprice", decimal(15, 2)),
+        Column("p_comment", varchar(23)),
+    ]),
+    "partsupp": Schema([
+        Column("ps_partkey", INTEGER),
+        Column("ps_suppkey", INTEGER),
+        Column("ps_availqty", INTEGER),
+        Column("ps_supplycost", decimal(15, 2)),
+        Column("ps_comment", varchar(199)),
+    ]),
+    "customer": Schema([
+        Column("c_custkey", INTEGER),
+        Column("c_name", varchar(25)),
+        Column("c_address", varchar(40)),
+        Column("c_nationkey", INTEGER),
+        Column("c_phone", char(15)),
+        Column("c_acctbal", decimal(15, 2)),
+        Column("c_mktsegment", char(10)),
+        Column("c_comment", varchar(117)),
+    ]),
+    "orders": Schema([
+        Column("o_orderkey", INTEGER),
+        Column("o_custkey", INTEGER),
+        Column("o_orderstatus", char(1)),
+        Column("o_totalprice", decimal(15, 2)),
+        Column("o_orderdate", DATE),
+        Column("o_orderpriority", char(15)),
+        Column("o_clerk", char(15)),
+        Column("o_shippriority", INTEGER),
+        Column("o_comment", varchar(79)),
+    ]),
+    "lineitem": Schema([
+        Column("l_orderkey", INTEGER),
+        Column("l_partkey", INTEGER),
+        Column("l_suppkey", INTEGER),
+        Column("l_linenumber", INTEGER),
+        Column("l_quantity", decimal(15, 2)),
+        Column("l_extendedprice", decimal(15, 2)),
+        Column("l_discount", decimal(15, 2)),
+        Column("l_tax", decimal(15, 2)),
+        Column("l_returnflag", char(1)),
+        Column("l_linestatus", char(1)),
+        Column("l_shipdate", DATE),
+        Column("l_commitdate", DATE),
+        Column("l_receiptdate", DATE),
+        Column("l_shipinstruct", char(25)),
+        Column("l_shipmode", char(10)),
+        Column("l_comment", varchar(44)),
+    ]),
+}
+
+
+def tpch_schema(table: str) -> Schema:
+    """Schema of one TPC-H table (case-insensitive)."""
+    return TPCH_SCHEMAS[table.lower()]

@@ -1,0 +1,147 @@
+"""Tests for the binary cache (§4.3)."""
+
+import pytest
+
+from repro.core.cache import BinaryCache, CacheBlock
+from repro.errors import StorageError
+from repro.simcost.clock import CostEvent
+from repro.simcost.model import CostModel
+
+
+def make_cache(budget=None):
+    model = CostModel()
+    return BinaryCache(model, budget), model
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache, _ = make_cache()
+        assert cache.get(1, 0) is None
+        cache.put(1, 0, 4, [(0, 10), (2, 30)], "int")
+        block = cache.get(1, 0)
+        assert block.get(0) == (True, 10)
+        assert block.get(1) == (False, None)
+        assert block.get(2) == (True, 30)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_partial_blocks_merge(self):
+        # "a previously accessed attribute or even parts of an attribute"
+        cache, _ = make_cache()
+        cache.put(1, 0, 4, [(0, 10)], "int")
+        cache.put(1, 0, 4, [(1, 20), (3, 40)], "int")
+        block = cache.get(1, 0)
+        assert block.filled == 3
+        assert not block.complete
+        cache.put(1, 0, 4, [(2, 30)], "int")
+        assert cache.get(1, 0).complete
+
+    def test_merge_does_not_overwrite(self):
+        cache, _ = make_cache()
+        cache.put(1, 0, 2, [(0, 10)], "int")
+        cache.put(1, 0, 2, [(0, 99)], "int")
+        assert cache.get(1, 0).get(0) == (True, 10)
+
+    def test_block_growth_on_append(self):
+        cache, _ = make_cache()
+        cache.put(1, 0, 2, [(0, 10), (1, 20)], "int")
+        cache.put(1, 0, 4, [(3, 40)], "int")   # file grew (§4.5)
+        block = cache.get(1, 0)
+        assert len(block.mask) == 4
+        assert block.get(0) == (True, 10)
+        assert block.get(3) == (True, 40)
+
+    def test_row_out_of_range_rejected(self):
+        cache, _ = make_cache()
+        with pytest.raises(StorageError):
+            cache.put(1, 0, 2, [(5, 50)], "int")
+
+    def test_empty_entries_noop(self):
+        cache, model = make_cache()
+        cache.put(1, 0, 4, [], "int")
+        assert cache.get(1, 0) is None
+        assert model.count(CostEvent.CACHE_WRITE) == 0
+
+    def test_write_charges(self):
+        cache, model = make_cache()
+        cache.put(1, 0, 4, [(0, 1), (1, 2)], "int")
+        assert model.count(CostEvent.CACHE_WRITE) == 2
+
+
+class TestBudgetAndPriority:
+    def test_budget_enforced(self):
+        cache, _ = make_cache(budget=100)
+        for block in range(10):
+            cache.put(1, block, 4, [(i, i) for i in range(4)], "int")
+        assert cache.bytes_used <= 100
+        assert cache.evictions > 0
+
+    def test_string_bytes_measured_per_value(self):
+        cache, _ = make_cache()
+        cache.put(1, 0, 2, [(0, "abc")], "str")
+        assert cache.bytes_used == 4  # len + 1
+        cache.put(1, 0, 2, [(1, "defghi")], "str")
+        assert cache.bytes_used == 4 + 7
+
+    def test_cheap_conversions_evicted_first(self):
+        # §4.3: "priority to attributes more costly to convert" — the
+        # string block goes before the int block even though the int
+        # block is older.
+        cache, _ = make_cache(budget=100)
+        cache.put(1, 0, 8, [(i, i) for i in range(8)], "int")        # 64 B
+        cache.put(2, 0, 8, [(i, "abcd") for i in range(8)], "str")   # 40 B
+        # 104 B > 100: the (newer!) string block is evicted, not the int.
+        assert cache.get(2, 0) is None
+        assert cache.get(1, 0) is not None
+        cache.put(3, 0, 8, [(i, 1.5) for i in range(4)], "float")    # 32 B
+        assert cache.bytes_used == 96
+        assert cache.get(1, 0) is not None
+        assert cache.get(3, 0) is not None
+
+    def test_lru_within_same_family(self):
+        cache, _ = make_cache(budget=64)
+        cache.put(1, 0, 4, [(i, i) for i in range(4)], "int")   # 32 B
+        cache.put(1, 1, 4, [(i, i) for i in range(4)], "int")   # 32 B
+        cache.get(1, 0)                                          # refresh
+        cache.put(1, 2, 4, [(i, i) for i in range(4)], "int")   # evict
+        assert cache.get(1, 1) is None
+        assert cache.get(1, 0) is not None
+        assert cache.get(1, 2) is not None
+
+    def test_utilization(self):
+        cache, _ = make_cache(budget=64)
+        assert cache.utilization() == 0.0
+        cache.put(1, 0, 4, [(i, i) for i in range(4)], "int")
+        assert cache.utilization() == pytest.approx(0.5)
+
+    def test_utilization_unbounded(self):
+        cache, _ = make_cache()
+        assert cache.utilization() == 0.0
+        cache.put(1, 0, 1, [(0, 1)], "int")
+        assert cache.utilization() == 1.0
+
+
+class TestInvalidation:
+    def test_invalidate_attr(self):
+        cache, _ = make_cache()
+        cache.put(1, 0, 2, [(0, 1)], "int")
+        cache.put(2, 0, 2, [(0, 2)], "int")
+        cache.invalidate_attr(1)
+        assert cache.get(1, 0) is None
+        assert cache.get(2, 0) is not None
+        assert cache.bytes_used == 8
+
+    def test_clear(self):
+        cache, _ = make_cache()
+        cache.put(1, 0, 2, [(0, 1)], "int")
+        cache.clear()
+        assert cache.bytes_used == 0
+        assert cache.get(1, 0) is None
+
+
+class TestCacheBlock:
+    def test_get_out_of_range_is_miss(self):
+        block = CacheBlock("int", [1], bytearray([1]))
+        assert block.get(5) == (False, None)
+
+    def test_empty_block_not_complete(self):
+        assert CacheBlock("int").complete is False

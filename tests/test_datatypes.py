@@ -1,0 +1,175 @@
+"""Tests for SQL data types and conversion."""
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TypeError_
+from repro.sql.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    Interval,
+    char,
+    decimal,
+    type_from_sql,
+    varchar,
+)
+
+
+class TestInteger:
+    def test_parse(self):
+        assert INTEGER.parse("42") == 42
+        assert INTEGER.parse("-7") == -7
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(TypeError_):
+            INTEGER.parse("4.2")
+        with pytest.raises(TypeError_):
+            INTEGER.parse("abc")
+
+    def test_format_roundtrip(self):
+        assert INTEGER.parse(INTEGER.format(123456789)) == 123456789
+
+    def test_bigint_is_int_family(self):
+        assert BIGINT.family == "int"
+        assert BIGINT.parse("9999999999999") == 9999999999999
+
+
+class TestFloat:
+    def test_parse(self):
+        assert FLOAT.parse("3.5") == 3.5
+        assert FLOAT.parse("-1e3") == -1000.0
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(TypeError_):
+            FLOAT.parse("x")
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_format_roundtrip(self, value):
+        assert FLOAT.parse(FLOAT.format(value)) == value
+
+
+class TestDecimal:
+    def test_is_float_family(self):
+        assert decimal(15, 2).family == "float"
+
+    def test_format_uses_scale(self):
+        assert decimal(15, 2).format(3.14159) == "3.14"
+        assert decimal(15, 4).format(3.14159) == "3.1416"
+
+    def test_name_includes_args(self):
+        assert decimal(15, 2).name == "DECIMAL(15,2)"
+
+
+class TestVarcharChar:
+    def test_varchar_identity(self):
+        assert varchar(10).parse(" abc ") == " abc "
+
+    def test_char_strips_trailing_pad(self):
+        assert char(5).parse("ab   ") == "ab"
+        assert char(5).parse("  ab") == "  ab"
+
+    def test_names(self):
+        assert varchar(10).name == "VARCHAR(10)"
+        assert varchar().name == "VARCHAR"
+        assert char(3).name == "CHAR(3)"
+
+
+class TestDate:
+    def test_parse(self):
+        assert DATE.parse("2001-05-20") == datetime.date(2001, 5, 20)
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(TypeError_):
+            DATE.parse("2001/05/20x")
+        with pytest.raises(TypeError_):
+            DATE.parse("not-a-date")
+        with pytest.raises(TypeError_):
+            DATE.parse("2001-13-40")
+
+    @given(st.dates())
+    def test_format_roundtrip(self, value):
+        assert DATE.parse(DATE.format(value)) == value
+
+
+class TestBoolean:
+    @pytest.mark.parametrize("text", ["t", "true", "TRUE", "1", "yes"])
+    def test_truthy(self, text):
+        assert BOOLEAN.parse(text) is True
+
+    @pytest.mark.parametrize("text", ["f", "false", "FALSE", "0", "no"])
+    def test_falsy(self, text):
+        assert BOOLEAN.parse(text) is False
+
+    def test_garbage_raises(self):
+        with pytest.raises(TypeError_):
+            BOOLEAN.parse("maybe")
+
+    def test_format(self):
+        assert BOOLEAN.format(True) == "true"
+        assert BOOLEAN.format(False) == "false"
+
+
+class TestInterval:
+    def test_add_days(self):
+        d = datetime.date(1998, 12, 1)
+        assert Interval(days=90).subtract_from(d) == datetime.date(1998, 9, 2)
+
+    def test_add_months_wraps_year(self):
+        d = datetime.date(1993, 11, 15)
+        assert Interval(months=3).add_to(d) == datetime.date(1994, 2, 15)
+
+    def test_month_end_clamping(self):
+        d = datetime.date(2001, 1, 31)
+        assert Interval(months=1).add_to(d) == datetime.date(2001, 2, 28)
+
+    def test_years(self):
+        d = datetime.date(1994, 1, 1)
+        assert Interval(years=1).add_to(d) == datetime.date(1995, 1, 1)
+
+    def test_subtract_months(self):
+        d = datetime.date(1994, 2, 15)
+        assert Interval(months=3).subtract_from(d) == datetime.date(
+            1993, 11, 15)
+
+    @given(st.dates(min_value=datetime.date(1900, 1, 2),
+                    max_value=datetime.date(2100, 1, 1)),
+           st.integers(-500, 500))
+    def test_day_arithmetic_matches_timedelta(self, date, days):
+        assert Interval(days=days).add_to(date) == date + datetime.timedelta(
+            days)
+
+
+class TestTypeFromSql:
+    @pytest.mark.parametrize("name,expected", [
+        ("INT", INTEGER), ("integer", INTEGER), ("BIGINT", BIGINT),
+        ("FLOAT", FLOAT), ("double", FLOAT), ("REAL", FLOAT),
+        ("DATE", DATE), ("BOOLEAN", BOOLEAN), ("bool", BOOLEAN),
+    ])
+    def test_simple_types(self, name, expected):
+        assert type_from_sql(name) == expected
+
+    def test_parameterized(self):
+        assert type_from_sql("VARCHAR", (25,)).name == "VARCHAR(25)"
+        assert type_from_sql("CHAR", (10,)).name == "CHAR(10)"
+        assert type_from_sql("DECIMAL", (15, 2)).name == "DECIMAL(15,2)"
+        assert type_from_sql("NUMERIC", (8,)).name == "DECIMAL(8,0)"
+
+    def test_defaults(self):
+        assert type_from_sql("VARCHAR").name == "VARCHAR"
+        assert type_from_sql("DECIMAL").name == "DECIMAL(15,2)"
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeError_):
+            type_from_sql("GEOMETRY")
+
+    def test_equality_by_name(self):
+        assert decimal(15, 2) == decimal(15, 2)
+        assert decimal(15, 2) != decimal(15, 3)
+        assert varchar(5) != char(5)
+        assert hash(decimal(15, 2)) == hash(decimal(15, 2))

@@ -1,0 +1,221 @@
+"""End-to-end tests for the PostgresRaw engine (SQL level)."""
+
+import datetime
+
+import pytest
+
+from repro import (
+    INTEGER,
+    PostgresRaw,
+    PostgresRawConfig,
+    Schema,
+    VirtualFS,
+    varchar,
+)
+from repro.errors import CatalogError, PlanningError
+from tests.conftest import PEOPLE_CSV, people_schema
+
+
+class TestRegistration:
+    def test_register_requires_existing_file(self, vfs):
+        db = PostgresRaw(vfs=vfs)
+        with pytest.raises(CatalogError):
+            db.register_csv("t", "missing.csv", people_schema())
+
+    def test_duplicate_registration_rejected(self, people_vfs):
+        db = PostgresRaw(vfs=people_vfs)
+        db.register_csv("people", "people.csv", people_schema())
+        with pytest.raises(CatalogError):
+            db.register_csv("people", "people.csv", people_schema())
+
+    def test_registration_touches_no_data(self, people_vfs):
+        db = PostgresRaw(vfs=people_vfs)
+        db.register_csv("people", "people.csv", people_schema())
+        # NoDB's whole point: zero data access until the first query.
+        assert db.elapsed() == 0.0
+
+    def test_add_file_synonym(self, people_vfs):
+        db = PostgresRaw(vfs=people_vfs)
+        info = db.add_file("people", "people.csv", people_schema())
+        assert db.catalog.has("people")
+        assert info.schema.arity == 5
+
+
+class TestQueries:
+    def test_projection(self, people_raw):
+        result = people_raw.query("SELECT name FROM people")
+        assert result.column("name") == ["alice", "bob", "carol", "dave",
+                                         "erin"]
+
+    def test_star(self, people_raw):
+        result = people_raw.query("SELECT * FROM people")
+        assert len(result.columns) == 5
+        assert result.rows[0][:3] == (1, "alice", 30)
+
+    def test_where_on_date(self, people_raw):
+        result = people_raw.query(
+            "SELECT name FROM people WHERE birth >= DATE '1998-01-01'")
+        assert sorted(result.column("name")) == ["alice", "bob", "erin"]
+
+    def test_arithmetic_projection(self, people_raw):
+        result = people_raw.query(
+            "SELECT name, age * 2 AS dbl FROM people WHERE id = 1")
+        assert result.rows == [("alice", 60)]
+
+    def test_aggregates(self, people_raw):
+        result = people_raw.query(
+            "SELECT count(*), min(age), max(age), avg(height) FROM people")
+        row = result.rows[0]
+        assert row[0] == 5
+        assert row[1] == 25 and row[2] == 35
+        assert row[3] == pytest.approx((170.5 + 182.0 + 165.2 + 190.1
+                                        + 158.7) / 5)
+
+    def test_group_by_order_by(self, people_raw):
+        result = people_raw.query(
+            "SELECT age, count(*) AS n FROM people GROUP BY age "
+            "ORDER BY n DESC, age ASC")
+        assert result.rows[0] == (25, 2)
+
+    def test_having(self, people_raw):
+        result = people_raw.query(
+            "SELECT age, count(*) AS n FROM people GROUP BY age "
+            "HAVING count(*) > 1")
+        assert result.rows == [(25, 2)]
+
+    def test_limit(self, people_raw):
+        result = people_raw.query(
+            "SELECT name FROM people ORDER BY age DESC LIMIT 2")
+        assert result.column("name") == ["carol", "alice"]
+
+    def test_select_alias_in_order_by(self, people_raw):
+        result = people_raw.query(
+            "SELECT name, age + 100 AS score FROM people "
+            "ORDER BY score DESC LIMIT 1")
+        assert result.rows == [("carol", 135)]
+
+    def test_case_expression(self, people_raw):
+        result = people_raw.query(
+            "SELECT name, CASE WHEN age < 27 THEN 'young' ELSE 'older' END "
+            "AS bucket FROM people ORDER BY id")
+        assert result.rows[0] == ("alice", "older")
+        assert result.rows[1] == ("bob", "young")
+
+    def test_query_result_helpers(self, people_raw):
+        result = people_raw.query("SELECT count(*) FROM people")
+        assert result.scalar() == 5
+        assert len(result) == 1
+        dicts = people_raw.query(
+            "SELECT id, name FROM people WHERE id = 1").as_dicts()
+        assert dicts == [{"id": 1, "name": "alice"}]
+
+    def test_unknown_table(self, people_raw):
+        with pytest.raises(CatalogError):
+            people_raw.query("SELECT x FROM nope")
+
+    def test_unknown_column(self, people_raw):
+        with pytest.raises(PlanningError):
+            people_raw.query("SELECT nonexistent FROM people")
+
+    def test_elapsed_virtual_time_increases(self, people_raw):
+        first = people_raw.query("SELECT name FROM people")
+        assert first.elapsed > 0
+        assert people_raw.elapsed() >= first.elapsed
+
+    def test_counters_exposed(self, people_raw):
+        result = people_raw.query("SELECT name FROM people")
+        assert result.counters.get("tuple_overhead") == 5
+
+    def test_explain(self, people_raw):
+        plan = people_raw.explain("SELECT name FROM people WHERE id = 1")
+        assert plan["op"] == "Project"
+        scan = plan["input"]
+        assert scan["op"] == "Scan"
+        assert scan["access"] == "RawCsvAccess"
+        assert scan["pushed_predicates"] == 1
+
+
+class TestAdaptivity:
+    def test_second_query_faster(self, people_raw):
+        q = "SELECT name, age FROM people"
+        first = people_raw.query(q)
+        second = people_raw.query(q)
+        assert second.elapsed < first.elapsed
+
+    def test_auxiliary_bytes_grow_then_drop(self, people_raw):
+        people_raw.query("SELECT name, age FROM people")
+        aux = people_raw.auxiliary_bytes("people")
+        assert aux["positional_map"] > 0
+        assert aux["cache"] > 0
+        people_raw.drop_auxiliary("people")
+        aux = people_raw.auxiliary_bytes("people")
+        assert aux == {"positional_map": 0, "cache": 0}
+
+    def test_drop_auxiliary_keeps_answers_correct(self, people_raw):
+        q = "SELECT name FROM people WHERE age = 25"
+        before = people_raw.query(q).rows
+        people_raw.drop_auxiliary("people")
+        assert people_raw.query(q).rows == before
+
+    def test_stats_appear_after_queries(self, people_raw):
+        assert people_raw.catalog.get("people").stats is None
+        people_raw.query("SELECT age FROM people")
+        stats = people_raw.catalog.get("people").stats
+        assert stats is not None and stats.has_column("age")
+
+
+class TestConfigurationVariants:
+    @pytest.mark.parametrize("config", [
+        PostgresRawConfig(enable_positional_map=False, enable_cache=False),
+        PostgresRawConfig(enable_positional_map=True, enable_cache=False),
+        PostgresRawConfig(enable_positional_map=False, enable_cache=True),
+        PostgresRawConfig(enable_statistics=False),
+        PostgresRawConfig(row_block_size=2),
+        PostgresRawConfig(pm_budget_bytes=128, cache_budget_bytes=128),
+    ], ids=["baseline", "pm-only", "cache-only", "no-stats",
+            "tiny-blocks", "tiny-budgets"])
+    def test_all_variants_agree(self, people_vfs, config):
+        reference = PostgresRaw(vfs=people_vfs)
+        reference.register_csv("people", "people.csv", people_schema())
+        variant = PostgresRaw(config=config, vfs=people_vfs)
+        variant.register_csv("people", "people.csv", people_schema())
+        queries = [
+            "SELECT name FROM people WHERE age < 30",
+            "SELECT age, count(*) FROM people GROUP BY age",
+            "SELECT name FROM people WHERE age < 30",  # repeat (warm)
+        ]
+        for q in queries:
+            assert sorted(variant.query(q).rows) == sorted(
+                reference.query(q).rows)
+
+
+class TestMultiTable:
+    def test_join_and_semijoin(self, vfs):
+        vfs.create("dept.csv", b"1,eng\n2,sales\n3,legal\n")
+        vfs.create("emp.csv", b"1,ann,1\n2,bo,1\n3,cy,2\n")
+        db = PostgresRaw(vfs=vfs)
+        db.register_csv("dept", "dept.csv",
+                        Schema([("d_id", INTEGER), ("d_name", varchar())]))
+        db.register_csv("emp", "emp.csv",
+                        Schema([("e_id", INTEGER), ("e_name", varchar()),
+                                ("e_dept", INTEGER)]))
+        joined = db.query(
+            "SELECT d_name, count(*) AS n FROM emp, dept "
+            "WHERE e_dept = d_id GROUP BY d_name ORDER BY n DESC")
+        assert joined.rows == [("eng", 2), ("sales", 1)]
+        semi = db.query(
+            "SELECT d_name FROM dept WHERE EXISTS "
+            "(SELECT * FROM emp WHERE e_dept = d_id) ORDER BY d_name")
+        assert semi.column("d_name") == ["eng", "sales"]
+        anti = db.query(
+            "SELECT d_name FROM dept WHERE NOT EXISTS "
+            "(SELECT * FROM emp WHERE e_dept = d_id)")
+        assert anti.rows == [("legal",)]
+
+    def test_self_join_with_aliases(self, people_vfs):
+        db = PostgresRaw(vfs=people_vfs)
+        db.register_csv("people", "people.csv", people_schema())
+        result = db.query(
+            "SELECT a.name, b.name FROM people a, people b "
+            "WHERE a.age = b.age AND a.id < b.id")
+        assert result.rows == [("bob", "erin")]

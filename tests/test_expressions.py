@@ -1,0 +1,267 @@
+"""Tests for expression analysis and compilation."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ExecutionError, PlanningError
+from repro.sql.ast_nodes import ColumnRef, Literal
+from repro.sql.expressions import (
+    collect_aggregates,
+    collect_column_refs,
+    compile_expr,
+    conjoin,
+    contains_aggregate,
+    expr_key,
+    like_to_regex,
+    split_conjuncts,
+)
+from repro.sql.parser import parse_expression
+
+
+def compile_with(sql_expr, layout):
+    """Compile against a name->index layout (bare column names)."""
+    expr = parse_expression(sql_expr)
+
+    def resolver(node):
+        if isinstance(node, ColumnRef) and node.table is None:
+            return layout.get(node.name)
+        return None
+    return compile_expr(expr, resolver)
+
+
+class TestCollect:
+    def test_column_refs_deduplicated_in_order(self):
+        expr = parse_expression("a + b * a + c")
+        refs = collect_column_refs(expr)
+        assert [r.name for r in refs] == ["a", "b", "c"]
+
+    def test_refs_inside_all_node_kinds(self):
+        expr = parse_expression(
+            "CASE WHEN a LIKE 'x%' THEN b ELSE c END + "
+            "(d BETWEEN e AND f) + (g IN (h, 1)) + (i IS NULL)")
+        names = {r.name for r in collect_column_refs(expr)}
+        assert names == set("abcdefghi")
+
+    def test_aggregates_deduplicated(self):
+        expr = parse_expression("sum(x) + sum(x) + avg(y)")
+        aggs = collect_aggregates(expr)
+        assert [a.name for a in aggs] == ["sum", "avg"]
+
+    def test_contains_aggregate(self):
+        assert contains_aggregate(parse_expression("1 + max(x)"))
+        assert not contains_aggregate(parse_expression("1 + x"))
+
+    def test_none_input(self):
+        assert collect_column_refs(None) == []
+        assert collect_aggregates(None) == []
+
+
+class TestConjuncts:
+    def test_split_nested_ands(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_or_not_split(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert len(split_conjuncts(expr)) == 1
+
+    def test_conjoin_roundtrip(self):
+        conjuncts = split_conjuncts(parse_expression("a = 1 AND b = 2"))
+        rebuilt = conjoin(conjuncts)
+        assert split_conjuncts(rebuilt) == conjuncts
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+
+
+class TestExprKey:
+    def test_equal_structures_equal_keys(self):
+        assert expr_key(parse_expression("a + 1")) == expr_key(
+            parse_expression("a + 1"))
+
+    def test_different_structures_differ(self):
+        assert expr_key(parse_expression("a + 1")) != expr_key(
+            parse_expression("a + 2"))
+
+
+class TestArithmetic:
+    def test_basic(self):
+        fn = compile_with("a + b * 2", {"a": 0, "b": 1})
+        assert fn((10, 5)) == 20
+
+    def test_division_is_float(self):
+        fn = compile_with("a / b", {"a": 0, "b": 1})
+        assert fn((7, 2)) == 3.5
+
+    def test_division_by_zero_raises(self):
+        fn = compile_with("a / b", {"a": 0, "b": 1})
+        with pytest.raises(ExecutionError):
+            fn((1, 0))
+
+    def test_null_propagates(self):
+        fn = compile_with("a + b", {"a": 0, "b": 1})
+        assert fn((None, 5)) is None
+
+    def test_unary_minus(self):
+        fn = compile_with("-a", {"a": 0})
+        assert fn((3,)) == -3
+        assert fn((None,)) is None
+
+    def test_date_minus_interval(self):
+        fn = compile_with("a - INTERVAL '90' DAY", {"a": 0})
+        assert fn((datetime.date(1998, 12, 1),)) == datetime.date(1998, 9, 2)
+
+    def test_date_plus_interval_months(self):
+        fn = compile_with("a + INTERVAL '3' MONTH", {"a": 0})
+        assert fn((datetime.date(1993, 7, 1),)) == datetime.date(1993, 10, 1)
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        row = (5, 7)
+        layout = {"a": 0, "b": 1}
+        assert compile_with("a < b", layout)(row) is True
+        assert compile_with("a > b", layout)(row) is False
+        assert compile_with("a <= b", layout)(row) is True
+        assert compile_with("a >= b", layout)(row) is False
+        assert compile_with("a = b", layout)(row) is False
+        assert compile_with("a <> b", layout)(row) is True
+
+    def test_null_comparison_is_unknown(self):
+        fn = compile_with("a = b", {"a": 0, "b": 1})
+        assert fn((None, 1)) is None
+
+    def test_date_comparison(self):
+        fn = compile_with("a <= DATE '1998-09-02'", {"a": 0})
+        assert fn((datetime.date(1998, 9, 2),)) is True
+        assert fn((datetime.date(1998, 9, 3),)) is False
+
+
+class TestKleeneLogic:
+    layout = {"a": 0, "b": 1}
+
+    def test_and_truth_table(self):
+        fn = compile_with("a AND b", self.layout)
+        assert fn((True, True)) is True
+        assert fn((True, False)) is False
+        assert fn((False, None)) is False      # short-circuit
+        assert fn((None, False)) is False
+        assert fn((True, None)) is None
+        assert fn((None, None)) is None
+
+    def test_or_truth_table(self):
+        fn = compile_with("a OR b", self.layout)
+        assert fn((False, False)) is False
+        assert fn((True, None)) is True
+        assert fn((None, True)) is True
+        assert fn((False, None)) is None
+        assert fn((None, None)) is None
+
+    def test_not(self):
+        fn = compile_with("NOT a", {"a": 0})
+        assert fn((True,)) is False
+        assert fn((False,)) is True
+        assert fn((None,)) is None
+
+
+class TestPredicates:
+    def test_between(self):
+        fn = compile_with("a BETWEEN 2 AND 4", {"a": 0})
+        assert fn((3,)) is True
+        assert fn((2,)) is True
+        assert fn((5,)) is False
+        assert fn((None,)) is None
+
+    def test_not_between(self):
+        fn = compile_with("a NOT BETWEEN 2 AND 4", {"a": 0})
+        assert fn((5,)) is True
+        assert fn((3,)) is False
+
+    def test_in_list(self):
+        fn = compile_with("a IN ('x', 'y')", {"a": 0})
+        assert fn(("x",)) is True
+        assert fn(("z",)) is False
+        assert fn((None,)) is None
+
+    def test_not_in(self):
+        fn = compile_with("a NOT IN ('x')", {"a": 0})
+        assert fn(("z",)) is True
+        assert fn(("x",)) is False
+
+    def test_like(self):
+        fn = compile_with("a LIKE 'PROMO%'", {"a": 0})
+        assert fn(("PROMO BRASS",)) is True
+        assert fn(("ECONOMY",)) is False
+        assert fn((None,)) is None
+
+    def test_like_underscore(self):
+        fn = compile_with("a LIKE 'b_t'", {"a": 0})
+        assert fn(("bat",)) is True
+        assert fn(("boat",)) is False
+
+    def test_like_escapes_regex_chars(self):
+        fn = compile_with("a LIKE 'a.c%'", {"a": 0})
+        assert fn(("a.cd",)) is True
+        assert fn(("abcd",)) is False  # '.' must not act as regex dot
+
+    def test_not_like(self):
+        fn = compile_with("a NOT LIKE 'x%'", {"a": 0})
+        assert fn(("yz",)) is True
+
+    def test_is_null(self):
+        fn = compile_with("a IS NULL", {"a": 0})
+        assert fn((None,)) is True
+        assert fn((1,)) is False
+
+    def test_is_not_null(self):
+        fn = compile_with("a IS NOT NULL", {"a": 0})
+        assert fn((1,)) is True
+
+    def test_case(self):
+        fn = compile_with(
+            "CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' "
+            "ELSE 'many' END", {"a": 0})
+        assert fn((1,)) == "one"
+        assert fn((2,)) == "two"
+        assert fn((9,)) == "many"
+
+    def test_case_no_else_yields_null(self):
+        fn = compile_with("CASE WHEN a = 1 THEN 'one' END", {"a": 0})
+        assert fn((5,)) is None
+
+    def test_case_null_condition_skipped(self):
+        fn = compile_with("CASE WHEN a > 1 THEN 'big' ELSE 'small' END",
+                          {"a": 0})
+        assert fn((None,)) == "small"
+
+
+class TestResolution:
+    def test_unresolved_column_raises(self):
+        with pytest.raises(PlanningError):
+            compile_with("missing + 1", {})
+
+    def test_aggregate_outside_context_raises(self):
+        with pytest.raises(PlanningError):
+            compile_with("sum(a)", {"a": 0})
+
+    def test_resolver_wins_over_structure(self):
+        # If the resolver places the whole expression, no recursion.
+        expr = parse_expression("sum(x)")
+        fn = compile_expr(expr, lambda node: 2 if expr_key(node)
+                          == expr_key(expr) else None)
+        assert fn((0, 0, 42)) == 42
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(PlanningError):
+            compile_with("frobnicate(a)", {"a": 0})
+
+
+class TestLikeRegexCache:
+    def test_cache_reuses_patterns(self):
+        first = like_to_regex("abc%")
+        second = like_to_regex("abc%")
+        assert first is second

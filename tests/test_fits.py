@@ -1,0 +1,194 @@
+"""Tests for the FITS binary-table format, the in-situ FITS scan, and
+the CFITSIO comparator (§5.3)."""
+
+import random
+import struct
+
+import pytest
+
+from repro import CFitsioProgram, PostgresRaw, PostgresRawConfig, VirtualFS
+from repro.errors import FITSFormatError
+from repro.formats.fits import (
+    BLOCK,
+    FitsColumn,
+    parse_fits,
+    parse_fits_from_vfs,
+    write_bintable,
+)
+from repro.simcost.clock import CostEvent
+
+
+def sample_table(nrows=100, seed=0):
+    rng = random.Random(seed)
+    names = ["obj_id", "ra", "dec", "mag", "label"]
+    tforms = ["K", "D", "D", "E", "8A"]
+    rows = [
+        (i, rng.uniform(0, 360), rng.uniform(-90, 90),
+         rng.uniform(10, 25), f"obj{i:04d}")
+        for i in range(nrows)
+    ]
+    return names, tforms, rows
+
+
+def fits_vfs(nrows=100, seed=0):
+    names, tforms, rows = sample_table(nrows, seed)
+    vfs = VirtualFS()
+    vfs.create("sky.fits", write_bintable(names, tforms, rows))
+    return vfs, rows
+
+
+class TestFormat:
+    def test_file_is_block_aligned(self):
+        names, tforms, rows = sample_table(10)
+        data = write_bintable(names, tforms, rows)
+        assert len(data) % BLOCK == 0
+
+    def test_roundtrip_geometry(self):
+        names, tforms, rows = sample_table(50)
+        info = parse_fits(write_bintable(names, tforms, rows))
+        assert info.nrows == 50
+        assert [c.name for c in info.columns] == names
+        assert info.row_bytes == 8 + 8 + 8 + 4 + 8
+
+    def test_roundtrip_values(self):
+        names, tforms, rows = sample_table(20)
+        data = write_bintable(names, tforms, rows)
+        info = parse_fits(data)
+        for i, row in enumerate(rows):
+            start = info.data_offset + i * info.row_bytes
+            raw = data[start:start + info.row_bytes]
+            decoded = tuple(c.decode(raw) for c in info.columns)
+            assert decoded[0] == row[0]
+            assert decoded[1] == pytest.approx(row[1])
+            assert decoded[3] == pytest.approx(row[3], rel=1e-6)  # float32
+            assert decoded[4] == row[4]
+
+    def test_schema_derived_from_header(self):
+        names, tforms, rows = sample_table(5)
+        info = parse_fits(write_bintable(names, tforms, rows))
+        schema = info.schema
+        assert schema.names == names
+        assert schema.column("obj_id").dtype.family == "int"
+        assert schema.column("ra").dtype.family == "float"
+        assert schema.column("label").dtype.family == "str"
+
+    def test_int32_column(self):
+        info = parse_fits(write_bintable(["v"], ["J"], [(123,)]))
+        raw = bytes(info.columns[0].encode(123))
+        assert struct.unpack(">i", raw)[0] == 123
+
+    def test_string_column_padded_and_stripped(self):
+        column = FitsColumn("s", "A", 6, 0)
+        assert column.encode("ab") == b"ab    "
+        assert column.decode(b"ab    ") == "ab"
+
+    def test_bad_tform_rejected(self):
+        with pytest.raises(FITSFormatError):
+            write_bintable(["x"], ["Q"], [(1,)])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(FITSFormatError):
+            write_bintable(["x", "y"], ["J", "J"], [(1,)])
+
+    def test_not_fits_rejected(self):
+        with pytest.raises(FITSFormatError):
+            parse_fits(b"\x00" * BLOCK * 2)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(FITSFormatError):
+            parse_fits(b"SIMPLE  =                    T")
+
+
+class TestRawFitsScan:
+    def engine(self, nrows=200, **config_kwargs):
+        vfs, rows = fits_vfs(nrows)
+        config = PostgresRawConfig(row_block_size=64, **config_kwargs)
+        db = PostgresRaw(config=config, vfs=vfs)
+        db.register_fits("sky", "sky.fits")
+        return db, rows
+
+    def test_projection_matches_written_rows(self):
+        db, rows = self.engine(100)
+        result = db.query("SELECT obj_id, label FROM sky")
+        assert result.rows == [(r[0], r[4]) for r in rows]
+
+    def test_aggregates(self):
+        db, rows = self.engine(150)
+        result = db.query("SELECT min(dec), max(dec), avg(dec) FROM sky")
+        decs = [r[2] for r in rows]
+        assert result.rows[0][0] == pytest.approx(min(decs))
+        assert result.rows[0][1] == pytest.approx(max(decs))
+        assert result.rows[0][2] == pytest.approx(sum(decs) / len(decs))
+
+    def test_predicate(self):
+        db, rows = self.engine(100)
+        result = db.query("SELECT obj_id FROM sky WHERE ra < 180.0")
+        expected = [(r[0],) for r in rows if r[1] < 180.0]
+        assert result.rows == expected
+
+    def test_no_tokenize_cost_for_binary(self):
+        db, _ = self.engine(50)
+        db.query("SELECT ra FROM sky")
+        assert db.model.count(CostEvent.TOKENIZE) == 0
+        assert db.model.count(CostEvent.CONVERT_FLOAT) == 0
+        assert db.model.count(CostEvent.DESERIALIZE) > 0
+
+    def test_cache_eliminates_io(self):
+        db, _ = self.engine(100)
+        db.query("SELECT mag FROM sky")
+        io_before = (db.model.count(CostEvent.DISK_READ_COLD)
+                     + db.model.count(CostEvent.DISK_READ_WARM))
+        db.query("SELECT mag FROM sky")
+        io_after = (db.model.count(CostEvent.DISK_READ_COLD)
+                    + db.model.count(CostEvent.DISK_READ_WARM))
+        assert io_after == io_before
+
+    def test_cache_disabled_rereads(self):
+        db, _ = self.engine(100, enable_cache=False)
+        db.query("SELECT mag FROM sky")
+        io_before = (db.model.count(CostEvent.DISK_READ_COLD)
+                     + db.model.count(CostEvent.DISK_READ_WARM))
+        db.query("SELECT mag FROM sky")
+        io_after = (db.model.count(CostEvent.DISK_READ_COLD)
+                    + db.model.count(CostEvent.DISK_READ_WARM))
+        assert io_after > io_before
+
+    def test_stats_collected(self):
+        db, _ = self.engine(100)
+        db.query("SELECT mag FROM sky")
+        stats = db.catalog.get("sky").stats
+        assert stats is not None and stats.has_column("mag")
+
+    def test_schema_comes_from_file(self):
+        db, _ = self.engine(10)
+        info = db.catalog.get("sky")
+        assert info.schema.names == ["obj_id", "ra", "dec", "mag", "label"]
+
+
+class TestCFitsioComparator:
+    def test_aggregates_match_sql_engine(self):
+        vfs, rows = fits_vfs(120)
+        program = CFitsioProgram(vfs, "sky.fits")
+        db = PostgresRaw(vfs=vfs)
+        db.register_fits("sky", "sky.fits")
+        for func in ("min", "max", "avg"):
+            answer = program.aggregate(func, "mag")
+            sql = db.query(f"SELECT {func}(mag) FROM sky").scalar()
+            assert answer.value == pytest.approx(sql)
+
+    def test_constant_time_per_query(self):
+        # "the CFITSIO approach leads to nearly constant query times
+        # since the entire file must be scanned for every query"
+        vfs, _ = fits_vfs(200)
+        program = CFitsioProgram(vfs, "sky.fits")
+        first = program.aggregate("avg", "mag").elapsed     # cold
+        second = program.aggregate("avg", "mag").elapsed    # fs-cache warm
+        third = program.aggregate("min", "dec").elapsed
+        assert second <= first
+        assert third == pytest.approx(second, rel=0.2)
+
+    def test_unsupported_mode_rejected(self):
+        vfs, _ = fits_vfs(10)
+        program = CFitsioProgram(vfs, "sky.fits")
+        with pytest.raises(Exception):
+            program.aggregate("median", "mag")

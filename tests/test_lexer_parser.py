@@ -1,0 +1,280 @@
+"""Tests for the SQL lexer and parser."""
+
+import datetime
+
+import pytest
+
+from repro.errors import LexerError, ParseError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    Exists,
+    FuncCall,
+    InList,
+    IntervalLiteral,
+    IsNull,
+    LikeExpr,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse, parse_expression
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT Select select")
+        assert all(t.value == "select" for t in tokens[:-1])
+        assert all(t.type == TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserved(self):
+        tokens = tokenize("foo Bar_9")
+        assert [t.value for t in tokens[:-1]] == ["foo", "Bar_9"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5e-2")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "1e3", "2.5e-2"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'abc")
+
+    def test_operators(self):
+        tokens = tokenize("= <> != <= >= < > + - * /")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["=", "<>", "<>", "<=", ">=", "<", ">",
+                          "+", "-", "*", "/"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select -- a comment\n 1")
+        assert [t.value for t in tokens[:-1]] == ["select", "1"]
+
+    def test_unexpected_char(self):
+        with pytest.raises(LexerError):
+            tokenize("select @")
+
+    def test_eof_token(self):
+        assert tokenize("")[0].type == TokenType.EOF
+
+    def test_punct(self):
+        tokens = tokenize("(a, b);")
+        assert [t.value for t in tokens[:-1]] == ["(", "a", ",", "b", ")",
+                                                  ";"]
+
+
+class TestParseExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == BinaryOp("+", Literal(1),
+                                BinaryOp("*", Literal(2), Literal(3)))
+
+    def test_parens_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr == BinaryOp("*", BinaryOp("+", Literal(1), Literal(2)),
+                                Literal(3))
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "or"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "and"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, UnaryOp) and expr.op == "not"
+
+    def test_unary_minus(self):
+        assert parse_expression("-5") == UnaryOp("-", Literal(5))
+
+    def test_comparison(self):
+        expr = parse_expression("price <= 100")
+        assert expr == BinaryOp("<=", ColumnRef("price"), Literal(100))
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert expr == Between(ColumnRef("x"), Literal(1), Literal(10))
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert expr == Between(ColumnRef("x"), Literal(1), Literal(10), True)
+
+    def test_in_list(self):
+        expr = parse_expression("mode IN ('A', 'B')")
+        assert expr == InList(ColumnRef("mode"),
+                              (Literal("A"), Literal("B")))
+
+    def test_not_in(self):
+        expr = parse_expression("mode NOT IN ('A')")
+        assert expr.negated is True
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'PROMO%'")
+        assert expr == LikeExpr(ColumnRef("name"), "PROMO%")
+
+    def test_not_like(self):
+        assert parse_expression("name NOT LIKE 'x'").negated is True
+
+    def test_like_requires_string(self):
+        with pytest.raises(ParseError):
+            parse_expression("name LIKE 5")
+
+    def test_is_null(self):
+        assert parse_expression("x IS NULL") == IsNull(ColumnRef("x"))
+        assert parse_expression("x IS NOT NULL") == IsNull(ColumnRef("x"),
+                                                           True)
+
+    def test_date_literal(self):
+        expr = parse_expression("DATE '1998-12-01'")
+        assert expr == Literal(datetime.date(1998, 12, 1))
+
+    def test_interval_literal(self):
+        expr = parse_expression("INTERVAL '90' DAY")
+        assert expr == IntervalLiteral(90, "day")
+
+    def test_date_arithmetic(self):
+        expr = parse_expression("DATE '1998-12-01' - INTERVAL '90' DAY")
+        assert isinstance(expr, BinaryOp) and expr.op == "-"
+
+    def test_case_expression(self):
+        expr = parse_expression(
+            "CASE WHEN x = 1 THEN 'one' ELSE 'other' END")
+        assert isinstance(expr, CaseExpr)
+        assert len(expr.whens) == 1
+        assert expr.else_result == Literal("other")
+
+    def test_case_without_else(self):
+        expr = parse_expression("CASE WHEN x = 1 THEN 2 END")
+        assert expr.else_result is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_qualified_column(self):
+        assert parse_expression("t.col") == ColumnRef("col", table="t")
+
+    def test_function_call(self):
+        expr = parse_expression("sum(a + b)")
+        assert isinstance(expr, FuncCall) and expr.name == "sum"
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr == FuncCall("count", (Star(),))
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT x)")
+        assert expr.distinct is True
+
+    def test_boolean_and_null_literals(self):
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+        assert parse_expression("NULL") == Literal(None)
+
+    def test_string_escape(self):
+        assert parse_expression("'o''brien'") == Literal("o'brien")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra stuff everywhere (")
+
+
+class TestParseSelect:
+    def test_minimal(self):
+        select = parse("SELECT a FROM t")
+        assert len(select.items) == 1
+        assert select.tables[0].name == "t"
+        assert select.where is None
+
+    def test_star(self):
+        select = parse("SELECT * FROM t")
+        assert isinstance(select.items[0].expr, Star)
+
+    def test_aliases(self):
+        select = parse("SELECT a AS x, b y FROM t")
+        assert select.items[0].alias == "x"
+        assert select.items[1].alias == "y"
+
+    def test_table_alias(self):
+        select = parse("SELECT a FROM orders o")
+        assert select.tables[0].alias == "o"
+        assert select.tables[0].binding == "o"
+
+    def test_multiple_tables(self):
+        select = parse("SELECT a FROM t1, t2, t3")
+        assert [t.name for t in select.tables] == ["t1", "t2", "t3"]
+
+    def test_join_on_desugars_to_where(self):
+        select = parse("SELECT a FROM t1 JOIN t2 ON t1.id = t2.id "
+                       "WHERE t1.x > 0")
+        assert len(select.tables) == 2
+        # WHERE is the conjunction of the explicit predicate and the ON.
+        assert isinstance(select.where, BinaryOp)
+        assert select.where.op == "and"
+
+    def test_inner_join_keyword(self):
+        select = parse("SELECT a FROM t1 INNER JOIN t2 ON t1.id = t2.id")
+        assert len(select.tables) == 2
+        assert select.where is not None
+
+    def test_group_by_having(self):
+        select = parse("SELECT a, count(*) FROM t GROUP BY a "
+                       "HAVING count(*) > 2")
+        assert len(select.group_by) == 1
+        assert select.having is not None
+
+    def test_order_by_directions(self):
+        select = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC, a + b")
+        assert [o.descending for o in select.order_by] == [True, False,
+                                                           False]
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 10").limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t LIMIT 2.5")
+
+    def test_exists_subquery(self):
+        select = parse("SELECT a FROM t WHERE EXISTS "
+                       "(SELECT * FROM u WHERE u.id = t.id)")
+        assert isinstance(select.where, Exists)
+        assert select.where.subquery.tables[0].name == "u"
+
+    def test_not_exists(self):
+        select = parse("SELECT a FROM t WHERE NOT EXISTS "
+                       "(SELECT * FROM u WHERE u.id = t.id)")
+        assert isinstance(select.where, UnaryOp)
+        assert isinstance(select.where.operand, Exists)
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT a FROM t;")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a")
+
+    def test_garbage_after_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t SELECT b")
+
+    def test_keyword_as_alias_via_as(self):
+        select = parse("SELECT count(*) AS count FROM t")
+        assert select.items[0].alias == "count"
+
+    def test_tpch_q1_shape(self):
+        from repro.workloads.tpch import tpch_query
+        select = parse(tpch_query("q1"))
+        assert len(select.items) == 10
+        assert len(select.group_by) == 2
+        assert len(select.order_by) == 2
+
+    def test_all_paper_queries_parse(self):
+        from repro.workloads.tpch import PAPER_QUERIES, tpch_query
+        for name in PAPER_QUERIES:
+            parse(tpch_query(name))

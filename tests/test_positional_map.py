@@ -1,0 +1,216 @@
+"""Tests for the adaptive positional map (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.positional_map import PositionalMap
+from repro.errors import StorageError
+from repro.simcost.clock import CostEvent
+from repro.simcost.model import CostModel
+from repro.storage.vfs import VirtualFS
+
+
+def make_map(budget=None, spill=False, block=4, nattrs=10):
+    model = CostModel()
+    vfs = VirtualFS() if spill else None
+    pm = PositionalMap(model, nattrs, row_block_size=block,
+                       budget_bytes=budget, spill_vfs=vfs)
+    return pm, model, vfs
+
+
+class TestLineIndex:
+    def test_append_and_lookup(self):
+        pm, _, _ = make_map()
+        pm.append_line_start(0)
+        pm.append_line_start(50)
+        assert pm.known_line_count == 2
+        assert pm.line_start(0) == 0
+        assert pm.line_start(1) == 50
+        assert pm.line_start(2) is None
+
+    def test_line_starts_must_increase(self):
+        pm, _, _ = make_map()
+        pm.append_line_start(10)
+        with pytest.raises(StorageError):
+            pm.append_line_start(10)
+
+    def test_line_span_needs_next_line_or_eof(self):
+        pm, _, _ = make_map()
+        pm.append_line_start(0)
+        pm.append_line_start(50)
+        assert pm.line_span(0) == (0, 49)    # excludes the newline
+        assert pm.line_span(1) is None       # end unknown
+        pm.set_file_length(100)
+        assert pm.line_span(1) == (50, 99)   # file ends with newline
+
+    def test_invalidate_file_length(self):
+        pm, _, _ = make_map()
+        pm.append_line_start(0)
+        pm.set_file_length(10)
+        pm.invalidate_file_length()
+        assert pm.line_span(0) is None
+
+    def test_lookups_charge_map_access(self):
+        pm, model, _ = make_map()
+        pm.append_line_start(0)
+        pm.append_line_start(9)
+        pm.line_span(0)
+        assert model.count(CostEvent.MAP_ACCESS) == 2
+        assert model.count(CostEvent.MAP_INSERT) == 2
+
+
+class TestChunks:
+    def test_insert_and_lookup(self):
+        pm, _, _ = make_map()
+        matrix = np.array([[5, 12], [6, 14], [5, 11], [7, 15]],
+                          dtype=np.int32)
+        pm.insert_chunk((3, 7), 0, matrix)
+        assert pm.position(0, 3) == 5
+        assert pm.position(3, 7) == 15
+        assert pm.position(0, 4) is None    # attr not indexed
+        assert pm.position(9, 3) is None    # row outside block rows
+
+    def test_positions_column(self):
+        pm, _, _ = make_map()
+        pm.insert_chunk((2,), 1, np.array([[9], [8]], dtype=np.int32))
+        column = pm.positions(1, 2)
+        assert list(column) == [9, 8]
+        assert pm.positions(0, 2) is None
+
+    def test_group_order_preserved(self):
+        # "attributes do not necessarily appear in the map in the same
+        # order as in the raw file" — group (7, 3) stores 7 first.
+        pm, _, _ = make_map()
+        matrix = np.array([[70, 30]], dtype=np.int32)
+        pm.insert_chunk((7, 3), 0, matrix)
+        assert pm.position(0, 7) == 70
+        assert pm.position(0, 3) == 30
+
+    def test_shape_mismatch_rejected(self):
+        pm, _, _ = make_map()
+        with pytest.raises(StorageError):
+            pm.insert_chunk((1, 2), 0, np.zeros((4, 3), dtype=np.int32))
+
+    def test_indexed_attrs_sorted(self):
+        pm, _, _ = make_map()
+        pm.insert_chunk((7, 2), 0, np.zeros((4, 2), dtype=np.int32))
+        pm.insert_chunk((5,), 0, np.zeros((4, 1), dtype=np.int32))
+        assert pm.indexed_attrs(0) == [2, 5, 7]
+        assert pm.indexed_attrs(1) == []
+
+    def test_nearest_indexed(self):
+        pm, _, _ = make_map()
+        pm.insert_chunk((2, 6), 0, np.zeros((4, 2), dtype=np.int32))
+        assert pm.nearest_indexed(0, 4) == (2, 6)
+        assert pm.nearest_indexed(0, 1) == (None, 2)
+        assert pm.nearest_indexed(0, 8) == (6, None)
+        assert pm.nearest_indexed(0, 2) == (2, 6)
+
+    def test_reinsert_overwrites(self):
+        pm, _, _ = make_map()
+        pm.insert_chunk((1,), 0, np.array([[10]], dtype=np.int32))
+        pm.insert_chunk((1,), 0, np.array([[20]], dtype=np.int32))
+        assert pm.position(0, 1) == 20
+
+    def test_block_of(self):
+        pm, _, _ = make_map(block=4)
+        assert pm.block_of(0) == 0
+        assert pm.block_of(3) == 0
+        assert pm.block_of(4) == 1
+
+
+class TestBudgetAndEviction:
+    def chunk_bytes(self, rows, attrs):
+        return rows * attrs * 4
+
+    def test_budget_enforced_lru(self):
+        # Budget of two 4x1 chunks; inserting a third evicts the LRU.
+        pm, _, _ = make_map(budget=2 * self.chunk_bytes(4, 1))
+        for block in range(3):
+            pm.insert_chunk((1,), block,
+                            np.full((4, 1), block, dtype=np.int32))
+        assert pm.chunk_bytes <= 2 * self.chunk_bytes(4, 1)
+        assert pm.position(0, 1) is None          # block 0 evicted
+        assert pm.position(4, 1) == 1             # block 1 retained
+        assert pm.evictions == 1
+
+    def test_access_refreshes_lru(self):
+        pm, _, _ = make_map(budget=2 * self.chunk_bytes(4, 1))
+        pm.insert_chunk((1,), 0, np.zeros((4, 1), dtype=np.int32))
+        pm.insert_chunk((1,), 1, np.ones((4, 1), dtype=np.int32))
+        pm.position(0, 1)                          # touch block 0
+        pm.insert_chunk((1,), 2, np.full((4, 1), 2, dtype=np.int32))
+        assert pm.position(0, 1) == 0              # block 0 survived
+        assert pm.position(4, 1) is None           # block 1 evicted
+
+    def test_eviction_never_serves_wrong_positions(self):
+        # The §5 invariant: a dropped map region is a miss, not a lie.
+        pm, _, _ = make_map(budget=self.chunk_bytes(4, 1))
+        pm.insert_chunk((1,), 0, np.array([[11], [12], [13], [14]],
+                                          dtype=np.int32))
+        pm.insert_chunk((1,), 1, np.array([[21], [22], [23], [24]],
+                                          dtype=np.int32))
+        for row in range(4):
+            value = pm.position(row, 1)
+            assert value is None or value == 11 + row
+        for row in range(4, 8):
+            value = pm.position(row, 1)
+            assert value is None or value == 21 + (row - 4)
+
+    def test_unlimited_budget_never_evicts(self):
+        pm, _, _ = make_map(budget=None)
+        for block in range(50):
+            pm.insert_chunk((1,), block, np.zeros((4, 1), dtype=np.int32))
+        assert pm.evictions == 0
+
+    def test_pointer_count(self):
+        pm, _, _ = make_map()
+        pm.append_line_start(0)
+        pm.insert_chunk((1, 2), 0, np.zeros((4, 2), dtype=np.int32))
+        assert pm.pointer_count == 1 + 8
+
+    def test_bytes_used_tracks_line_index_and_chunks(self):
+        pm, _, _ = make_map()
+        pm.append_line_start(0)
+        assert pm.bytes_used == 8
+        pm.insert_chunk((1,), 0, np.zeros((4, 1), dtype=np.int32))
+        assert pm.bytes_used == 8 + 16
+
+    def test_drop_clears_everything(self):
+        pm, _, _ = make_map()
+        pm.append_line_start(0)
+        pm.insert_chunk((1,), 0, np.zeros((4, 1), dtype=np.int32))
+        pm.drop()
+        assert pm.known_line_count == 0
+        assert pm.pointer_count == 0
+        assert pm.position(0, 1) is None
+
+
+class TestSpill:
+    def test_evicted_chunk_spills_and_reloads(self):
+        pm, model, vfs = make_map(budget=16, spill=True)
+        pm.insert_chunk((1,), 0, np.array([[11], [12], [13], [14]],
+                                          dtype=np.int32))
+        pm.insert_chunk((1,), 1, np.array([[21], [22], [23], [24]],
+                                          dtype=np.int32))
+        assert pm.evictions == 1
+        assert len(vfs.listdir("__pm_spill__/")) == 1
+        # Reading the spilled block reloads it, charging disk I/O.
+        io_before = model.count(CostEvent.DISK_READ_COLD)
+        assert pm.position(0, 1) == 11
+        assert model.count(CostEvent.DISK_READ_COLD) > io_before
+        assert pm.spill_loads == 1
+
+    def test_spill_preserves_values_exactly(self):
+        pm, _, vfs = make_map(budget=16, spill=True)
+        original = np.array([[7], [1000000], [0], [2 ** 30]], dtype=np.int32)
+        pm.insert_chunk((3,), 0, original)
+        pm.insert_chunk((3,), 1, np.zeros((4, 1), dtype=np.int32))  # evict
+        for row in range(4):
+            assert pm.position(row, 3) == int(original[row, 0])
+
+    def test_without_spill_evicted_is_gone(self):
+        pm, _, _ = make_map(budget=16, spill=False)
+        pm.insert_chunk((1,), 0, np.zeros((4, 1), dtype=np.int32))
+        pm.insert_chunk((1,), 1, np.ones((4, 1), dtype=np.int32))
+        assert pm.position(0, 1) is None

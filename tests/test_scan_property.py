@@ -1,0 +1,127 @@
+"""Property-based differential tests for the in-situ scan.
+
+The invariant: whatever sequence of queries runs (warming the map and
+cache along the way), every scan's output equals a naive re-parse of
+the raw file. This is the PM/cache correctness invariant from DESIGN.md
+§5 under adversarial workloads.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PostgresRaw, PostgresRawConfig, VirtualFS
+from repro.sql.scanapi import ScanPredicate
+from repro.workloads.micro import micro_schema
+
+N_ATTRS = 6
+VALUE_MAX = 1000
+
+rows_strategy = st.lists(
+    st.lists(st.integers(0, VALUE_MAX - 1), min_size=N_ATTRS,
+             max_size=N_ATTRS),
+    min_size=1, max_size=40)
+
+query_strategy = st.tuples(
+    st.lists(st.integers(0, N_ATTRS - 1), min_size=1, max_size=4,
+             unique=True),                       # projected attrs
+    st.one_of(st.none(),
+              st.tuples(st.integers(0, N_ATTRS - 1),
+                        st.integers(0, VALUE_MAX))),  # optional a<t filter
+)
+
+workload_strategy = st.lists(query_strategy, min_size=1, max_size=6)
+
+
+def build_engine(rows, block_size, pm_budget=None, cache_budget=None,
+                 enable_pm=True, enable_cache=True):
+    vfs = VirtualFS()
+    payload = "\n".join(",".join(map(str, row)) for row in rows)
+    vfs.create("t.csv", (payload + "\n").encode())
+    config = PostgresRawConfig(
+        row_block_size=block_size,
+        pm_budget_bytes=pm_budget,
+        cache_budget_bytes=cache_budget,
+        enable_positional_map=enable_pm,
+        enable_cache=enable_cache,
+        enable_statistics=False,
+    )
+    db = PostgresRaw(config=config, vfs=vfs)
+    db.register_csv("t", "t.csv", micro_schema(N_ATTRS))
+    return db.catalog.get("t").access
+
+
+def expected(rows, attrs, filt):
+    out = []
+    for row in rows:
+        if filt is not None:
+            attr, threshold = filt
+            if not row[attr] < threshold:
+                continue
+        out.append(tuple(row[a] for a in attrs))
+    return out
+
+
+def run_workload(access, rows, workload):
+    for attrs, filt in workload:
+        predicate = None
+        if filt is not None:
+            attr, threshold = filt
+            predicate = ScanPredicate(
+                [attr], lambda v, a=attr, t=threshold: v[a] < t, 1)
+        got = list(access.scan(attrs, predicate))
+        assert got == expected(rows, attrs, filt), (attrs, filt)
+
+
+class TestScanDifferential:
+    @given(rows_strategy, workload_strategy, st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_any_workload_matches_ground_truth(self, rows, workload,
+                                               block_size):
+        access = build_engine(rows, block_size)
+        run_workload(access, rows, workload)
+
+    @given(rows_strategy, workload_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_tight_budgets_never_corrupt_results(self, rows, workload):
+        # Evictions (map and cache) may only cost time, never answers.
+        access = build_engine(rows, block_size=4, pm_budget=64,
+                              cache_budget=64)
+        run_workload(access, rows, workload)
+
+    @given(rows_strategy, workload_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_baseline_mode_matches_ground_truth(self, rows, workload):
+        access = build_engine(rows, block_size=8, enable_pm=False,
+                              enable_cache=False)
+        run_workload(access, rows, workload)
+
+    @given(rows_strategy, workload_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_cache_only_mode(self, rows, workload):
+        access = build_engine(rows, block_size=8, enable_pm=False,
+                              enable_cache=True)
+        run_workload(access, rows, workload)
+
+    @given(rows_strategy, workload_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_pm_only_mode(self, rows, workload):
+        access = build_engine(rows, block_size=8, enable_pm=True,
+                              enable_cache=False)
+        run_workload(access, rows, workload)
+
+    @given(rows_strategy, st.lists(st.integers(0, N_ATTRS - 1),
+                                   min_size=1, max_size=3, unique=True),
+           st.integers(1, 39))
+    @settings(max_examples=25, deadline=None)
+    def test_abandoned_generators_leave_consistent_state(self, rows, attrs,
+                                                         stop_after):
+        access = build_engine(rows, block_size=4)
+        gen = access.scan(attrs, None)
+        for _ in range(min(stop_after, len(rows))):
+            try:
+                next(gen)
+            except StopIteration:
+                break
+        gen.close()
+        got = list(access.scan(attrs, None))
+        assert got == expected(rows, attrs, None)

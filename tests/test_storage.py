@@ -1,0 +1,241 @@
+"""Tests for slotted pages, heap files, buffer pool, and record codec."""
+
+import datetime
+
+import pytest
+
+from repro.errors import PageFormatError, StorageError
+from repro.simcost.clock import CostEvent
+from repro.simcost.model import CostModel
+from repro.sql.catalog import Schema
+from repro.sql.datatypes import BOOLEAN, DATE, FLOAT, INTEGER, varchar
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile, HeapWriter
+from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.record import RecordCodec
+from repro.storage.vfs import VirtualFS
+
+
+class TestSlottedPage:
+    def test_insert_and_get(self):
+        page = SlottedPage()
+        slot = page.insert(b"hello")
+        assert page.get(slot) == b"hello"
+        assert page.tuple_count == 1
+
+    def test_multiple_records_in_slot_order(self):
+        page = SlottedPage()
+        records = [f"record-{i}".encode() for i in range(10)]
+        for record in records:
+            page.insert(record)
+        assert list(page.records()) == records
+
+    def test_roundtrip_through_bytes(self):
+        page = SlottedPage()
+        page.insert(b"aa")
+        page.insert(b"bb" * 100)
+        restored = SlottedPage(page.to_bytes())
+        assert list(restored.records()) == [b"aa", b"bb" * 100]
+
+    def test_page_is_exactly_page_size(self):
+        assert len(SlottedPage().to_bytes()) == PAGE_SIZE
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(PageFormatError):
+            SlottedPage(b"\x00" * 100)
+
+    def test_overflow_rejected(self):
+        page = SlottedPage()
+        with pytest.raises(PageFormatError):
+            page.insert(b"x" * PAGE_SIZE)
+
+    def test_fills_until_full_then_rejects(self):
+        page = SlottedPage()
+        record = b"r" * 100
+        count = 0
+        while page.has_room(len(record)):
+            page.insert(record)
+            count += 1
+        assert count > 70  # ~8k / (100 + 4 slot)
+        with pytest.raises(PageFormatError):
+            page.insert(record)
+
+    def test_slot_out_of_range(self):
+        page = SlottedPage()
+        page.insert(b"x")
+        with pytest.raises(PageFormatError):
+            page.get(1)
+        with pytest.raises(PageFormatError):
+            page.get(-1)
+
+    def test_free_space_decreases(self):
+        page = SlottedPage()
+        before = page.free_space
+        page.insert(b"x" * 50)
+        assert page.free_space < before
+
+    def test_empty_record_allowed(self):
+        page = SlottedPage()
+        slot = page.insert(b"")
+        assert page.get(slot) == b""
+
+
+class TestRecordCodec:
+    def schema(self):
+        return Schema([
+            ("i", INTEGER), ("f", FLOAT), ("s", varchar()),
+            ("d", DATE), ("b", BOOLEAN),
+        ])
+
+    def test_roundtrip(self):
+        codec = RecordCodec(self.schema())
+        row = (42, 3.25, "text", datetime.date(2001, 5, 20), True)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_nulls_roundtrip(self):
+        codec = RecordCodec(self.schema())
+        row = (None, None, None, None, None)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_mixed_nulls(self):
+        codec = RecordCodec(self.schema())
+        row = (7, None, "x", None, False)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_negative_int_and_date_before_epoch(self):
+        codec = RecordCodec(self.schema())
+        row = (-10 ** 12, -0.5, "", datetime.date(1955, 2, 1), False)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_unicode_string(self):
+        codec = RecordCodec(self.schema())
+        row = (1, 1.0, "naïve-ütf", datetime.date(2020, 1, 1), True)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_arity_mismatch_rejected(self):
+        codec = RecordCodec(self.schema())
+        with pytest.raises(StorageError):
+            codec.encode((1, 2.0))
+
+    def test_oversized_string_rejected(self):
+        codec = RecordCodec(Schema([("s", varchar())]))
+        with pytest.raises(StorageError):
+            codec.encode(("x" * 70000,))
+
+    def test_encoded_width_matches_encode(self):
+        codec = RecordCodec(self.schema())
+        for row in [(1, 2.0, "abc", datetime.date(2000, 1, 1), True),
+                    (None, 2.0, "", None, None)]:
+            assert codec.encoded_width(row) == len(codec.encode(row))
+
+
+class TestHeapFile:
+    def write_rows(self, vfs, model, n=500):
+        schema = Schema([("id", INTEGER), ("name", varchar())])
+        codec = RecordCodec(schema)
+        with HeapWriter(vfs, "t.heap", model) as writer:
+            for i in range(n):
+                writer.append(codec.encode((i, f"name-{i}")))
+        return schema, codec
+
+    def test_write_read_roundtrip(self):
+        vfs = VirtualFS()
+        model = CostModel()
+        schema, codec = self.write_rows(vfs, model, 500)
+        heap = HeapFile(vfs, "t.heap")
+        pool = BufferPool(vfs, model)
+        rows = [codec.decode(r) for r in heap.scan_records(pool)]
+        assert rows == [(i, f"name-{i}") for i in range(500)]
+        assert heap.record_count(pool) == 500
+
+    def test_spans_multiple_pages(self):
+        vfs = VirtualFS()
+        model = CostModel()
+        self.write_rows(vfs, model, 2000)
+        heap = HeapFile(vfs, "t.heap")
+        assert heap.num_pages > 1
+
+    def test_writes_are_charged(self):
+        vfs = VirtualFS()
+        model = CostModel()
+        self.write_rows(vfs, model, 100)
+        assert model.count(CostEvent.DISK_WRITE) >= PAGE_SIZE
+
+    def test_closed_writer_rejects_appends(self):
+        vfs = VirtualFS()
+        writer = HeapWriter(vfs, "t.heap", CostModel())
+        writer.close()
+        with pytest.raises(StorageError):
+            writer.append(b"x")
+
+    def test_close_idempotent_and_returns_count(self):
+        vfs = VirtualFS()
+        writer = HeapWriter(vfs, "t.heap", CostModel())
+        writer.append(b"abc")
+        assert writer.close() == 1
+        assert writer.close() == 1
+
+    def test_oversized_record_rejected(self):
+        vfs = VirtualFS()
+        writer = HeapWriter(vfs, "t.heap", CostModel())
+        with pytest.raises(PageFormatError):
+            writer.append(b"x" * PAGE_SIZE)
+
+    def test_unaligned_heap_rejected(self):
+        vfs = VirtualFS()
+        vfs.create("bad.heap", b"x" * 100)
+        with pytest.raises(StorageError):
+            HeapFile(vfs, "bad.heap").num_pages
+
+
+class TestBufferPool:
+    def test_hit_avoids_disk(self):
+        vfs = VirtualFS()
+        model = CostModel()
+        with HeapWriter(vfs, "t.heap", model) as writer:
+            writer.append(b"row")
+        pool = BufferPool(vfs, model, capacity_pages=4)
+        pool.get_page("t.heap", 0)
+        read_after_miss = (model.count(CostEvent.DISK_READ_COLD)
+                           + model.count(CostEvent.DISK_READ_WARM))
+        pool.get_page("t.heap", 0)
+        read_after_hit = (model.count(CostEvent.DISK_READ_COLD)
+                          + model.count(CostEvent.DISK_READ_WARM))
+        assert read_after_hit == read_after_miss
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_eviction_at_capacity(self):
+        vfs = VirtualFS()
+        model = CostModel()
+        with HeapWriter(vfs, "t.heap", model) as writer:
+            for i in range(4000):
+                writer.append(b"r" * 200)
+        pool = BufferPool(vfs, model, capacity_pages=2)
+        heap = HeapFile(vfs, "t.heap")
+        assert heap.num_pages >= 3
+        for i in range(heap.num_pages):
+            pool.get_page("t.heap", i)
+        pool.get_page("t.heap", 0)  # was evicted: miss again
+        assert pool.misses == heap.num_pages + 1
+
+    def test_invalidate(self):
+        vfs = VirtualFS()
+        model = CostModel()
+        with HeapWriter(vfs, "t.heap", model) as writer:
+            writer.append(b"row")
+        pool = BufferPool(vfs, model)
+        pool.get_page("t.heap", 0)
+        pool.invalidate("t.heap")
+        pool.get_page("t.heap", 0)
+        assert pool.misses == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(VirtualFS(), CostModel(), capacity_pages=0)
+
+    def test_short_page_read_rejected(self):
+        vfs = VirtualFS()
+        vfs.create("bad.heap", b"x" * (PAGE_SIZE // 2))
+        pool = BufferPool(vfs, CostModel())
+        with pytest.raises(StorageError):
+            pool.get_page("bad.heap", 0)

@@ -1,0 +1,214 @@
+"""Tests for the virtual filesystem and simulated OS page cache."""
+
+import pytest
+
+from repro.errors import FileNotFoundInVFS, StorageError
+from repro.simcost.clock import CostEvent
+from repro.simcost.model import CostModel
+from repro.storage.vfs import OSPageCache, VirtualFS
+
+
+class TestNamespace:
+    def test_create_and_read(self, vfs):
+        vfs.create("a.txt", b"hello")
+        assert vfs.exists("a.txt")
+        assert vfs.read_bytes("a.txt") == b"hello"
+        assert vfs.size("a.txt") == 5
+
+    def test_missing_file_raises(self, vfs):
+        with pytest.raises(FileNotFoundInVFS):
+            vfs.read_bytes("nope")
+        with pytest.raises(FileNotFoundInVFS):
+            vfs.open("nope", CostModel())
+
+    def test_delete(self, vfs):
+        vfs.create("a", b"x")
+        vfs.delete("a")
+        assert not vfs.exists("a")
+        with pytest.raises(FileNotFoundInVFS):
+            vfs.delete("a")
+
+    def test_listdir_prefix(self, vfs):
+        vfs.create("dir/a", b"")
+        vfs.create("dir/b", b"")
+        vfs.create("other", b"")
+        assert vfs.listdir("dir/") == ["dir/a", "dir/b"]
+
+    def test_generation_bumps_on_mutation(self, vfs):
+        vfs.create("f", b"1")
+        g0 = vfs.generation("f")
+        vfs.append_bytes("f", b"2")
+        assert vfs.generation("f") > g0
+
+    def test_rewrite_count_distinguishes_appends(self, vfs):
+        vfs.create("f", b"1")
+        r0 = vfs.rewrite_count("f")
+        vfs.append_bytes("f", b"2")
+        assert vfs.rewrite_count("f") == r0  # appends are not rewrites
+        vfs.write_bytes("f", b"xyz")
+        assert vfs.rewrite_count("f") == r0 + 1
+
+    def test_import_export_roundtrip(self, vfs, tmp_path):
+        local = tmp_path / "data.csv"
+        local.write_bytes(b"1,2,3\n")
+        path = vfs.import_local(str(local))
+        assert path == "data.csv"
+        out = tmp_path / "out.csv"
+        vfs.export_local("data.csv", str(out))
+        assert out.read_bytes() == b"1,2,3\n"
+
+
+class TestCostedReads:
+    def test_sequential_read_charges_no_seek(self, vfs, model):
+        vfs.create("f", b"x" * 1000)
+        handle = vfs.open("f", model)
+        handle.read_at(0, 500)
+        handle.read_at(500, 500)
+        assert model.count(CostEvent.DISK_SEEK) == 0
+        total = (model.count(CostEvent.DISK_READ_COLD)
+                 + model.count(CostEvent.DISK_READ_WARM))
+        assert total == 1000
+
+    def test_random_read_charges_seek(self, vfs, model):
+        vfs.create("f", b"x" * 1_000_000)
+        handle = vfs.open("f", model)
+        handle.read_at(0, 10)
+        handle.read_at(900_000, 10)  # far cold jump: a real seek
+        assert model.count(CostEvent.DISK_SEEK) == 1
+        handle.read_at(500_000, 10)  # backward cold jump: also a seek
+        assert model.count(CostEvent.DISK_SEEK) == 2
+
+    def test_jump_onto_cached_data_is_not_a_seek(self, vfs, model):
+        vfs.create("f", b"x" * 1_000_000)
+        handle = vfs.open("f", model)
+        handle.read_at(0, 10)
+        handle.read_at(900_000, 10)       # cold: seek
+        handle.read_at(0, 10)             # back onto resident block: free
+        assert model.count(CostEvent.DISK_SEEK) == 1
+
+    def test_small_forward_gap_reads_through(self, vfs, model):
+        vfs.create("f", b"x" * 100_000)
+        handle = vfs.open("f", model)
+        handle.read_at(0, 10)
+        handle.read_at(5_000, 10)  # small gap: streamed, not sought
+        assert model.count(CostEvent.DISK_SEEK) == 0
+        total = (model.count(CostEvent.DISK_READ_COLD)
+                 + model.count(CostEvent.DISK_READ_WARM))
+        assert total == 5_010  # gap bytes charged as read-through
+
+    def test_read_past_eof_truncates(self, vfs, model):
+        vfs.create("f", b"abc")
+        handle = vfs.open("f", model)
+        assert handle.read_at(1, 100) == b"bc"
+        assert handle.read_at(50, 10) == b""
+
+    def test_negative_offset_rejected(self, vfs, model):
+        vfs.create("f", b"abc")
+        with pytest.raises(StorageError):
+            vfs.open("f", model).read_at(-1, 2)
+
+    def test_first_read_cold_second_warm(self, vfs, model):
+        vfs.create("f", b"x" * 100)
+        handle = vfs.open("f", model)
+        handle.read_at(0, 100)
+        cold_first = model.count(CostEvent.DISK_READ_COLD)
+        handle.read_at(0, 100)
+        assert model.count(CostEvent.DISK_READ_COLD) == cold_first
+        assert model.count(CostEvent.DISK_READ_WARM) == 100
+
+    def test_os_cache_shared_across_handles_and_models(self, vfs):
+        vfs.create("f", b"x" * 100)
+        first = CostModel()
+        vfs.open("f", first).read_at(0, 100)
+        second = CostModel()
+        vfs.open("f", second).read_at(0, 100)
+        # Second engine on the same machine reads warm.
+        assert second.count(CostEvent.DISK_READ_COLD) == 0
+        assert second.count(CostEvent.DISK_READ_WARM) == 100
+
+    def test_append_charges_write(self, vfs, model):
+        vfs.create("f", b"")
+        handle = vfs.open("f", model)
+        handle.append(b"abcd")
+        assert model.count(CostEvent.DISK_WRITE) == 4
+        assert vfs.read_bytes("f") == b"abcd"
+
+    def test_write_at_extends_file(self, vfs, model):
+        vfs.create("f", b"ab")
+        handle = vfs.open("f", model)
+        handle.write_at(4, b"zz")
+        assert vfs.size("f") == 6
+        assert vfs.read_bytes("f") == b"ab\x00\x00zz"
+
+    def test_read_sequential_tracks_position(self, vfs, model):
+        vfs.create("f", b"abcdef")
+        handle = vfs.open("f", model)
+        assert handle.read_sequential(2) == b"ab"
+        assert handle.read_sequential(2) == b"cd"
+        assert handle.tell() == 4
+
+
+class TestOSPageCache:
+    def test_capacity_evicts_lru(self):
+        cache = OSPageCache(capacity_bytes=2 * 64 * 1024)
+        cache.touch("f", 0, 64 * 1024)            # block 0
+        cache.touch("f", 64 * 1024, 64 * 1024)    # block 1
+        cache.touch("f", 128 * 1024, 64 * 1024)   # block 2 -> evicts 0
+        assert not cache.is_resident("f", 0)
+        assert cache.is_resident("f", 64 * 1024)
+        assert cache.is_resident("f", 128 * 1024)
+
+    def test_touch_refreshes_lru(self):
+        cache = OSPageCache(capacity_bytes=2 * 64 * 1024)
+        cache.touch("f", 0, 1)
+        cache.touch("f", 64 * 1024, 1)
+        cache.touch("f", 0, 1)                    # refresh block 0
+        cache.touch("f", 128 * 1024, 1)           # evicts block 1
+        assert cache.is_resident("f", 0)
+        assert not cache.is_resident("f", 64 * 1024)
+
+    def test_warm_cold_split(self):
+        cache = OSPageCache()
+        warm, cold = cache.touch("f", 0, 100)
+        assert (warm, cold) == (0, 100)
+        warm, cold = cache.touch("f", 0, 100)
+        assert (warm, cold) == (100, 0)
+
+    def test_invalidate_path_only(self):
+        cache = OSPageCache()
+        cache.touch("a", 0, 10)
+        cache.touch("b", 0, 10)
+        cache.invalidate("a")
+        assert not cache.is_resident("a", 0)
+        assert cache.is_resident("b", 0)
+
+    def test_zero_length_touch(self):
+        cache = OSPageCache()
+        assert cache.touch("f", 0, 0) == (0, 0)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(StorageError):
+            OSPageCache(block_size=0)
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = OSPageCache()
+        for i in range(100):
+            cache.touch("f", i * 64 * 1024, 1)
+        for i in range(100):
+            assert cache.is_resident("f", i * 64 * 1024)
+
+    def test_rewrite_invalidates_cache(self, vfs, model):
+        vfs.create("f", b"x" * 100)
+        vfs.open("f", model).read_at(0, 100)
+        vfs.write_bytes("f", b"y" * 100)
+        fresh = CostModel()
+        vfs.open("f", fresh).read_at(0, 100)
+        assert fresh.count(CostEvent.DISK_READ_COLD) == 100
+
+    def test_append_keeps_cache_warm(self, vfs, model):
+        vfs.create("f", b"x" * 100)
+        vfs.open("f", model).read_at(0, 100)
+        vfs.append_bytes("f", b"y" * 100)
+        fresh = CostModel()
+        vfs.open("f", fresh).read_at(0, 100)
+        assert fresh.count(CostEvent.DISK_READ_COLD) == 0
