@@ -1,0 +1,108 @@
+"""Batch vs scalar scan pipeline — real wall-clock, not virtual time.
+
+Every other bench in this directory measures *virtual* seconds on the
+cost model; this one measures the Python interpreter itself, because
+the batch pipeline's whole point is removing per-row interpreter
+overhead from the hot loop. The acceptance bar (PR 1): >= 2x wall-clock
+speedup for the batch path over the scalar path on a warm
+repeated-query scan. Measured headroom is typically 4-10x, so the
+assertion uses 2x to stay robust on slow CI machines.
+"""
+
+import time
+
+from figshared import header, table
+
+from repro import PostgresRaw, PostgresRawConfig, VirtualFS
+from repro.workloads.micro import generate_micro_csv, micro_schema
+
+ROWS = 4000
+ATTRS = 30
+REPEATS = 5
+PROJECTED = list(range(0, ATTRS, 3))
+
+
+def build(batch: bool) -> PostgresRaw:
+    vfs = VirtualFS()
+    generate_micro_csv(vfs, "m.csv", ROWS, ATTRS, seed=3)
+    db = PostgresRaw(config=PostgresRawConfig(batch_mode=batch), vfs=vfs)
+    db.register_csv("m", "m.csv", micro_schema(ATTRS))
+    return db
+
+
+def timed_scan(db: PostgresRaw, repeats: int = 1) -> tuple[float, int]:
+    access = db.catalog.get("m").access
+    start = time.perf_counter()
+    count = 0
+    for _ in range(repeats):
+        count = sum(1 for _ in access.scan(PROJECTED, None))
+    return (time.perf_counter() - start) / repeats, count
+
+
+def test_warm_repeated_scan_speedup(benchmark):
+    db_batch = build(batch=True)
+    db_scalar = build(batch=False)
+
+    cold_batch, n_batch = timed_scan(db_batch)      # warms PM + cache
+    cold_scalar, n_scalar = timed_scan(db_scalar)
+    assert n_batch == n_scalar == ROWS
+
+    warm_batch, _ = timed_scan(db_batch, REPEATS)
+    warm_scalar, _ = timed_scan(db_scalar, REPEATS)
+    warm_speedup = warm_scalar / warm_batch
+    cold_speedup = cold_scalar / cold_batch
+
+    header("Vectorized batch pipeline vs scalar scan (wall clock)",
+           "batching the raw-data hot loop removes per-tuple overhead")
+    table(["scan", "scalar ms", "batch ms", "speedup"],
+          [["cold first query", cold_scalar * 1e3, cold_batch * 1e3,
+            cold_speedup],
+           [f"warm x{REPEATS} avg", warm_scalar * 1e3, warm_batch * 1e3,
+            warm_speedup]])
+
+    assert warm_speedup >= 2.0, (
+        f"warm batch speedup {warm_speedup:.2f}x below the 2x bar")
+    # The cold path (tokenize + convert everything) must also win.
+    assert cold_speedup >= 1.5, (
+        f"cold batch speedup {cold_speedup:.2f}x regressed")
+
+    benchmark.pedantic(lambda: timed_scan(db_batch), rounds=3,
+                       iterations=1)
+
+
+def test_batch_and_scalar_same_virtual_time_shape(benchmark):
+    """Virtual (cost-model) time must NOT depend on the pull mode: the
+    batch pipeline charges the same unit totals per-block that the
+    scalar path charges per-row (conversion, I/O, map and cache
+    traffic), so the paper's figures are invariant to batch_mode."""
+    db_batch = build(batch=True)
+    db_scalar = build(batch=False)
+    sql = ("SELECT " + ", ".join(f"a{i + 1}" for i in PROJECTED)
+           + " FROM m WHERE a1 < 500000000")
+    for _ in range(3):
+        rb = db_batch.query(sql)
+        rs = db_scalar.query(sql)
+        assert sorted(rb.rows) == sorted(rs.rows)
+
+    cb = db_batch.counters()
+    cs = db_scalar.counters()
+    # tokenize is invariant here because the cold scan's streaming
+    # tokenization replays the scalar locate-state machine exactly and
+    # the warm repeats are fully map/cache-covered (zero tokenize in
+    # both modes); only warm *partial-coverage* scans may deviate (the
+    # batch path never re-scans a field — see simcost/model.py).
+    invariant = ["disk_read_cold", "disk_read_warm", "newline_scan",
+                 "tokenize", "convert_int", "tuple_overhead",
+                 "tuple_form", "predicate_eval", "cache_read",
+                 "cache_write", "map_insert", "map_access",
+                 "stats_sample"]
+    rows = []
+    for key in invariant:
+        rows.append([key, cs.get(key, 0), cb.get(key, 0)])
+        assert cb.get(key, 0) == cs.get(key, 0), key
+
+    header("Cost-counter parity across pull modes",
+           "same work units whether charged per row or per block")
+    table(["counter", "scalar", "batch"], rows)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

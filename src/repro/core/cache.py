@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import StorageError
 from repro.simcost.model import CostModel
 
@@ -54,6 +56,16 @@ class CacheBlock:
         if row_in_block < len(self.mask) and self.mask[row_in_block]:
             return True, self.values[row_in_block]
         return False, None
+
+    def mask_array(self, nrows: int) -> np.ndarray:
+        """The validity mask as a boolean array padded/truncated to
+        ``nrows`` — the batch scan's whole-block presence test."""
+        mask = np.frombuffer(bytes(self.mask), dtype=np.uint8).astype(bool)
+        if len(mask) >= nrows:
+            return mask[:nrows]
+        out = np.zeros(nrows, dtype=bool)
+        out[:len(mask)] = mask
+        return out
 
 
 class BinaryCache:
@@ -121,6 +133,58 @@ class BinaryCache:
             self._bytes += delta
             added += 1
         if added:
+            self.model.cache_write(added)
+        self._blocks.move_to_end(key)
+        self._enforce_budget()
+
+    def put_column(self, attr: int, block: int, rows_in_block: int,
+                   row_indexes, values, family: str) -> None:
+        """Whole-chunk insert for the batch scan: merge ``values`` at
+        ``row_indexes`` (block-relative, ascending) in one operation —
+        no per-row dict updates, one cost charge.
+
+        Byte accounting and merge semantics match per-entry
+        :meth:`put` exactly (rows already present are left untouched).
+        """
+        n = len(row_indexes)
+        if n == 0:
+            return
+        key = (attr, block)
+        cache_block = self._blocks.get(key)
+        if cache_block is None:
+            cache_block = CacheBlock(
+                family=family,
+                values=[None] * rows_in_block,
+                mask=bytearray(rows_in_block),
+            )
+            self._blocks[key] = cache_block
+        elif len(cache_block.mask) < rows_in_block:
+            grow = rows_in_block - len(cache_block.mask)
+            cache_block.values.extend([None] * grow)
+            cache_block.mask.extend(bytearray(grow))
+        if int(row_indexes[-1]) >= rows_in_block:
+            raise StorageError(
+                f"row {int(row_indexes[-1])} outside block of "
+                f"{rows_in_block}")
+        block_values = cache_block.values
+        block_mask = cache_block.mask
+        added = 0
+        added_bytes = 0
+        fixed = _FIXED_BYTES.get(family)
+        for idx, value in zip(row_indexes, values):
+            idx = int(idx)
+            if block_mask[idx]:
+                continue
+            block_values[idx] = value
+            block_mask[idx] = 1
+            added += 1
+            if fixed is None:
+                added_bytes += _value_bytes(family, value)
+        if added:
+            if fixed is not None:
+                added_bytes = added * fixed
+            cache_block.bytes_used += added_bytes
+            self._bytes += added_bytes
             self.model.cache_write(added)
         self._blocks.move_to_end(key)
         self._enforce_budget()

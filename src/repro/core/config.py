@@ -45,6 +45,19 @@ class PostgresRawConfig:
         different chunks.
     stats_sample_target:
         Reservoir size per column for on-the-fly statistics (§4.4).
+    batch_mode:
+        When True (the default), raw scans run the vectorized batch
+        pipeline (:mod:`repro.core.scan_batch`): whole row blocks per
+        step, NumPy newline/delimiter discovery, columnar selective
+        parsing, vectorized predicate masks, and whole-chunk positional
+        map / cache traffic. When False, scans run the original
+        row-at-a-time path — retained as the differential oracle and
+        for features the batch pipeline does not vectorize (eager
+        prefix indexing always uses the scalar path).
+    batch_read_bytes:
+        Sequential read granularity of the batch streaming region
+        (matches the scalar path's 256 KiB so I/O cost accounting is
+        comparable between the two).
     """
 
     enable_positional_map: bool = True
@@ -58,11 +71,15 @@ class PostgresRawConfig:
     eager_prefix_indexing: bool = False
     index_new_combinations: bool = True
     stats_sample_target: int = 1000
+    batch_mode: bool = True
+    batch_read_bytes: int = 256 * 1024
     dialect: CsvDialect = field(default_factory=lambda: DEFAULT_DIALECT)
 
     def __post_init__(self) -> None:
         if self.row_block_size <= 0:
             raise BudgetError("row_block_size must be positive")
+        if self.batch_read_bytes <= 0:
+            raise BudgetError("batch_read_bytes must be positive")
         if self.pm_budget_bytes is not None and self.pm_budget_bytes <= 0:
             raise BudgetError("pm_budget_bytes must be positive or None")
         if self.cache_budget_bytes is not None and self.cache_budget_bytes <= 0:

@@ -4,17 +4,26 @@ Binary tables need no tokenizing and no type conversion — attribute
 offsets are fixed — so the positional map is unnecessary. What remains
 is I/O and deserialization, which makes the binary cache the dominant
 mechanism: "techniques such as caching become more important".
+
+Like the CSV scan, two paths share the mechanisms: the batch path
+(``config.batch_mode``, default) decodes whole column slices per row
+block, evaluates predicates as masks and talks to the cache in whole
+chunks; the scalar path decodes value-at-a-time and is retained as the
+differential oracle.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.core.cache import BinaryCache
 from repro.core.config import PostgresRawConfig
 from repro.core.statistics import StatsCollector
 from repro.formats.fits import FitsTableInfo
 from repro.simcost.model import CostModel
+from repro.sql.batch import ColumnBatch
 from repro.sql.catalog import Schema, TableInfo
 from repro.sql.scanapi import ScanPredicate
 from repro.sql.stats import TableStats
@@ -44,22 +53,19 @@ class RawFitsAccess:
         return self.fits.nrows
 
     # ------------------------------------------------------------------
-    def scan(self, needed: Sequence[int],
-             predicate: ScanPredicate | None) -> Iterator[tuple]:
+    @property
+    def batch_enabled(self) -> bool:
+        return self.config.batch_mode
+
+    def _scan_setup(self, needed: Sequence[int],
+                    predicate: ScanPredicate | None):
         self.queries_executed += 1
-        model = self.model
-        fits = self.fits
         out_attrs = list(needed)
         where_attrs = list(predicate.attrs) if predicate else []
         union_attrs = sorted(set(out_attrs) | set(where_attrs))
         for attr in union_attrs:
             self.attr_request_counts[attr] = \
                 self.attr_request_counts.get(attr, 0) + 1
-        n_terms = predicate.n_terms if predicate else 0
-        block_size = self.config.row_block_size
-        nrows = fits.nrows
-        columns = fits.columns
-
         collector = None
         if self.config.enable_statistics:
             existing = self.table_info.stats
@@ -70,11 +76,186 @@ class RawFitsAccess:
             ]
             if missing:
                 collector = StatsCollector(
-                    model, self.schema, missing,
+                    self.model, self.schema, missing,
                     self.config.stats_sample_target,
                     seed=self.queries_executed)
+        handle = self.vfs.open(self.path, self.model, notify=False)
+        return out_attrs, where_attrs, union_attrs, collector, handle
 
-        handle = self.vfs.open(self.path, model, notify=False)
+    def _finalize(self, collector) -> None:
+        if collector is not None:
+            stats = self.table_info.stats or TableStats()
+            collector.finalize(stats, self.fits.nrows)
+            self.table_info.stats = stats
+        self.table_info.row_count_hint = self.fits.nrows
+
+    def scan(self, needed: Sequence[int],
+             predicate: ScanPredicate | None) -> Iterator[tuple]:
+        if self.batch_enabled:
+            for batch in self.scan_batches(needed, predicate):
+                yield from batch.iter_rows()
+            return
+        yield from self._scan_scalar(needed, predicate)
+
+    # ------------------------------------------------------------------
+    # Batch path: whole column slices per row block
+    # ------------------------------------------------------------------
+    def scan_batches(self, needed: Sequence[int],
+                     predicate: ScanPredicate | None,
+                     ) -> Iterator[ColumnBatch]:
+        out_attrs, where_attrs, union_attrs, collector, handle = \
+            self._scan_setup(needed, predicate)
+        model = self.model
+        fits = self.fits
+        block_size = self.config.row_block_size
+        nrows = fits.nrows
+        columns = fits.columns
+        n_terms = predicate.n_terms if predicate else 0
+
+        row = 0
+        while row < nrows:
+            block = row // block_size
+            block_end = min((block + 1) * block_size, nrows)
+            n = block_end - row
+            model.tuple_overhead(n)
+
+            cached = {}
+            cmask = {}
+            for attr in union_attrs:
+                cache_block = (self.cache.get(attr, block)
+                               if self.cache is not None else None)
+                cached[attr] = cache_block
+                cmask[attr] = (cache_block.mask_array(n)
+                               if cache_block is not None
+                               else np.zeros(n, dtype=bool))
+
+            # One sequential read covering every row missing any
+            # needed attribute (fixed-width binary rows).
+            missing_any = np.zeros(n, dtype=bool)
+            for attr in union_attrs:
+                missing_any |= ~cmask[attr]
+            row_data: dict[int, bytes] = {}
+            need_idx = np.flatnonzero(missing_any)
+            if len(need_idx):
+                first, last = int(need_idx[0]), int(need_idx[-1])
+                start = fits.data_offset + (row + first) * fits.row_bytes
+                length = (last - first + 1) * fits.row_bytes
+                blob = handle.read_at(start, length)
+                for idx in range(first, last + 1):
+                    lo = (idx - first) * fits.row_bytes
+                    row_data[idx] = blob[lo:lo + fits.row_bytes]
+
+            def column_values(attr: int, mask: np.ndarray) -> np.ndarray:
+                """Values of ``attr`` for ``mask`` rows as an aligned
+                object array: cache hits plus decoded misses, charged
+                in bulk."""
+                out = np.empty(n, dtype=object)
+                hits = mask & cmask[attr]
+                hit_idx = np.flatnonzero(hits)
+                if len(hit_idx):
+                    block_values = cached[attr].values
+                    out[hit_idx] = [block_values[i]
+                                    for i in hit_idx.tolist()]
+                    model.cache_read(len(hit_idx))
+                miss_idx = np.flatnonzero(mask & ~cmask[attr])
+                if len(miss_idx):
+                    decode = columns[attr].decode
+                    decoded = [decode(row_data[i])
+                               for i in miss_idx.tolist()]
+                    out[miss_idx] = decoded
+                    model.deserialize(len(miss_idx))
+                    entries[attr] = (miss_idx, decoded)
+                return out
+
+            entries: dict[int, tuple] = {}
+            all_rows = np.ones(n, dtype=bool)
+            values_by_attr: dict[int, np.ndarray] = {}
+            for attr in where_attrs:
+                values_by_attr[attr] = column_values(attr, all_rows)
+
+            if predicate is not None:
+                model.predicate(n_terms * n)
+                qual = self._predicate_mask(predicate, where_attrs,
+                                            values_by_attr, n)
+            else:
+                qual = np.ones(n, dtype=bool)
+            qual_idx = np.flatnonzero(qual)
+
+            for attr in out_attrs:
+                if attr not in values_by_attr:
+                    values_by_attr[attr] = column_values(attr, qual)
+            out_columns = [values_by_attr[attr][qual_idx].tolist()
+                           for attr in out_attrs]
+            model.tuple_form(len(out_attrs) * len(qual_idx))
+
+            if collector is not None:
+                for i in range(n):
+                    row_values = {attr: values_by_attr[attr][i]
+                                  for attr in where_attrs}
+                    if qual[i]:
+                        for attr in out_attrs:
+                            row_values[attr] = values_by_attr[attr][i]
+                    collector.add_row(row_values)
+
+            if self.cache is not None:
+                for attr in union_attrs:
+                    if attr in entries:
+                        miss_idx, decoded = entries[attr]
+                        self.cache.put_column(attr, block, n, miss_idx,
+                                              decoded,
+                                              self._families[attr])
+            yield ColumnBatch(out_columns, len(qual_idx))
+            row = block_end
+
+        self._finalize(collector)
+
+    def _predicate_mask(self, predicate, where_attrs, values_by_attr,
+                        n: int) -> np.ndarray:
+        if predicate.vector_fn is not None:
+            typed = {}
+            nulls = {}
+            ok = True
+            for attr in where_attrs:
+                family = self._families[attr]
+                if family not in ("int", "float"):
+                    ok = False
+                    break
+                values = values_by_attr[attr]
+                null_mask = np.fromiter((v is None for v in values),
+                                        dtype=bool, count=n)
+                if null_mask.any():
+                    ok = False
+                    break
+                try:
+                    typed[attr] = values.astype(
+                        np.int64 if family == "int" else np.float64)
+                except (ValueError, TypeError):
+                    ok = False
+                    break
+                nulls[attr] = null_mask
+            if ok:
+                return predicate.vector_fn(typed, nulls, n)
+        fn = predicate.fn
+        mask = np.zeros(n, dtype=bool)
+        cols = [values_by_attr[attr] for attr in where_attrs]
+        for i in range(n):
+            values = {attr: col[i] for attr, col in zip(where_attrs, cols)}
+            mask[i] = fn(values) is True
+        return mask
+
+    # ------------------------------------------------------------------
+    # Scalar path (differential oracle)
+    # ------------------------------------------------------------------
+    def _scan_scalar(self, needed: Sequence[int],
+                     predicate: ScanPredicate | None) -> Iterator[tuple]:
+        out_attrs, where_attrs, union_attrs, collector, handle = \
+            self._scan_setup(needed, predicate)
+        model = self.model
+        fits = self.fits
+        block_size = self.config.row_block_size
+        nrows = fits.nrows
+        columns = fits.columns
+        n_terms = predicate.n_terms if predicate else 0
 
         row = 0
         while row < nrows:
@@ -148,8 +329,4 @@ class RawFitsAccess:
                                        self._families[attr])
             row = block_end
 
-        if collector is not None:
-            stats = self.table_info.stats or TableStats()
-            collector.finalize(stats, nrows)
-            self.table_info.stats = stats
-        self.table_info.row_count_hint = nrows
+        self._finalize(collector)

@@ -63,6 +63,7 @@ class PositionalMap:
 
         self._line_starts: list[int] = []
         self._file_length: int | None = None  # set when EOF position known
+        self._newline_terminated = True       # last line ends with \n?
 
         self._chunks: OrderedDict[ChunkKey, np.ndarray] = OrderedDict()
         self._chunk_bytes = 0
@@ -91,9 +92,28 @@ class PositionalMap:
         self._line_starts.append(offset)
         self.model.map_insert(1)
 
-    def set_file_length(self, length: int) -> None:
-        """Record the file length so the last line's end is known."""
+    def append_line_starts(self, offsets) -> None:
+        """Bulk :meth:`append_line_start` — one strictly-increasing check
+        and one cost charge for a whole batch of discovered lines."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if len(offsets) == 0:
+            return
+        if (self._line_starts and offsets[0] <= self._line_starts[-1]) or \
+                (len(offsets) > 1 and (np.diff(offsets) <= 0).any()):
+            raise StorageError("line starts must be strictly increasing")
+        self._line_starts.extend(int(o) for o in offsets)
+        self.model.map_insert(len(offsets))
+
+    def set_file_length(self, length: int,
+                        newline_terminated: bool | None = None) -> None:
+        """Record the file length so the last line's end is known.
+        ``newline_terminated`` says whether the final byte is a newline
+        (an unterminated last line extends to EOF itself); None keeps
+        the current belief (files start as newline-terminated, the
+        write_csv contract)."""
         self._file_length = length
+        if newline_terminated is not None:
+            self._newline_terminated = newline_terminated
 
     def invalidate_file_length(self) -> None:
         """Forget the EOF position (file was appended to, §4.5)."""
@@ -130,9 +150,33 @@ class PositionalMap:
         return None
 
     def _ends_with_newline(self) -> bool:
-        # Generated CSVs always end with a newline; treat that as the
-        # contract (write_csv guarantees it).
-        return True
+        # Set by whichever scan reached EOF; generated CSVs always end
+        # with a newline (write_csv guarantees it) but externally
+        # supplied files may not.
+        return self._newline_terminated
+
+    def line_spans_block(self, lo: int, hi: int,
+                         ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Absolute ``(starts, ends)`` arrays for lines ``lo..hi-1``
+        (ends exclude the newline), or None if any span is unknown —
+        the batch scan's bulk :meth:`line_span`."""
+        if lo < 0 or hi <= lo or hi > len(self._line_starts):
+            return None
+        known = len(self._line_starts)
+        if hi == known and self._file_length is None:
+            return None  # last known line's end is undiscovered
+        starts = np.array(self._line_starts[lo:hi], dtype=np.int64)
+        ends = np.empty(hi - lo, dtype=np.int64)
+        ends[:-1] = starts[1:] - 1
+        if hi < known:
+            ends[-1] = self._line_starts[hi] - 1
+        else:
+            end = self._file_length
+            if end > starts[-1] and self._ends_with_newline():
+                end -= 1
+            ends[-1] = end
+        self.model.map_access(2 * (hi - lo))
+        return starts, ends
 
     # ------------------------------------------------------------------
     # Attribute chunks
@@ -304,3 +348,4 @@ class PositionalMap:
         self._spilled.clear()
         self._line_starts.clear()
         self._file_length = None
+        self._newline_terminated = True

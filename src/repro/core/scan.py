@@ -18,10 +18,28 @@ One scan integrates every mechanism of the paper:
 * **statistics** — values converted during the scan feed per-attribute
   reservoir samples (§4.4).
 
-The scan has two regions: the *indexed region* (rows whose line spans
-the map already knows — processed block-wise, reading only byte runs
-that are actually needed) and the *streaming region* (never-seen tail —
-read sequentially, discovering line starts).
+Two execution paths implement those mechanisms:
+
+* The **batch path** (``config.batch_mode``, the default) delegates to
+  :class:`~repro.core.scan_batch.BatchCsvScan`, which processes a whole
+  row block per step with NumPy: vectorized newline/delimiter discovery
+  over raw byte buffers, column-at-a-time selective parsing, predicate
+  evaluation as vectorized masks, and whole-chunk positional-map /
+  cache traffic. ``scan()`` stays a tuple iterator via a thin shim over
+  :meth:`RawCsvAccess.scan_batches`; batch-aware operators pull
+  :class:`~repro.sql.batch.ColumnBatch` objects directly.
+* The **scalar path** (this module) processes one tuple at a time via
+  :class:`_RowContext`. It is retained both as the fallback for
+  features the batch pipeline does not vectorize (eager prefix
+  indexing) and as the *differential oracle*: the batch path must
+  produce identical results and leave identical positional-map and
+  cache contents, a contract enforced by the property/differential
+  harness in ``tests/test_batch_differential.py``.
+
+Either way the scan has two regions: the *indexed region* (rows whose
+line spans the map already knows — processed block-wise, reading only
+byte runs that are actually needed) and the *streaming region*
+(never-seen tail — read sequentially, discovering line starts).
 """
 
 from __future__ import annotations
@@ -33,6 +51,7 @@ import numpy as np
 from repro.core.cache import BinaryCache
 from repro.core.config import PostgresRawConfig
 from repro.core.positional_map import PositionalMap
+from repro.core.scan_batch import BatchCsvScan
 from repro.core.statistics import StatsCollector
 from repro.errors import CSVFormatError
 from repro.formats.csvfmt import (
@@ -192,8 +211,18 @@ class RawCsvAccess:
         return self.row_count
 
     # ------------------------------------------------------------------
-    def scan(self, needed: Sequence[int],
-             predicate: ScanPredicate | None) -> Iterator[tuple]:
+    @property
+    def batch_enabled(self) -> bool:
+        """True when scans run the vectorized batch pipeline. Eager
+        prefix indexing records every position tokenized on the way to
+        a target — a per-row bookkeeping pattern the batch pipeline
+        does not vectorize — so it pins the scalar path."""
+        return self.config.batch_mode and not self.config.eager_prefix_indexing
+
+    def _scan_setup(self, needed: Sequence[int],
+                    predicate: ScanPredicate | None):
+        """Shared prologue of both scan paths: workload accounting, the
+        §4.4 stats collector, and the costed file handle."""
         self.queries_executed += 1
         out_attrs = list(needed)
         where_attrs = list(predicate.attrs) if predicate else []
@@ -217,22 +246,70 @@ class RawCsvAccess:
                     self.config.stats_sample_target,
                     seed=self.queries_executed)
         handle = self.vfs.open(self.path, self.model, notify=False)
+        return out_attrs, where_attrs, union_attrs, collector, handle
 
-        emitted = self._scan_indexed_region(
+    def _finalize_stats(self, collector) -> None:
+        if collector is None:
+            return
+        stats = self.table_info.stats or TableStats()
+        row_count = (self.row_count if self.row_count is not None
+                     else self.table_info.row_count_hint or 0)
+        collector.finalize(stats, row_count)
+        self.table_info.stats = stats
+
+    def scan(self, needed: Sequence[int],
+             predicate: ScanPredicate | None) -> Iterator[tuple]:
+        out_attrs, where_attrs, union_attrs, collector, handle = \
+            self._scan_setup(needed, predicate)
+        if self.batch_enabled:
+            scanner = BatchCsvScan(self, out_attrs, where_attrs,
+                                   union_attrs, predicate, collector)
+            for batch in scanner.run(handle):
+                yield from batch.iter_rows()
+        else:
+            yield from self._scan_indexed_region(
+                handle, out_attrs, where_attrs, union_attrs, predicate,
+                collector)
+            yield from self._scan_streaming_region(
+                handle, out_attrs, where_attrs, union_attrs, predicate,
+                collector)
+        self._finalize_stats(collector)
+
+    def scan_batches(self, needed: Sequence[int],
+                     predicate: ScanPredicate | None):
+        """Columnar pull: yield :class:`~repro.sql.batch.ColumnBatch`
+        blocks instead of tuples. On the scalar path (batch mode off)
+        this degrades to chunking the row iterator."""
+        from repro.sql.batch import ColumnBatch
+
+        out_attrs, where_attrs, union_attrs, collector, handle = \
+            self._scan_setup(needed, predicate)
+        if self.batch_enabled:
+            scanner = BatchCsvScan(self, out_attrs, where_attrs,
+                                   union_attrs, predicate, collector)
+            yield from scanner.run(handle)
+        else:
+            width = len(out_attrs)
+            pending: list[tuple] = []
+            for row in self._scan_rows_scalar(
+                    handle, out_attrs, where_attrs, union_attrs,
+                    predicate, collector):
+                pending.append(row)
+                if len(pending) >= self.config.row_block_size:
+                    yield ColumnBatch.from_rows(pending, width)
+                    pending = []
+            if pending:
+                yield ColumnBatch.from_rows(pending, width)
+        self._finalize_stats(collector)
+
+    def _scan_rows_scalar(self, handle, out_attrs, where_attrs,
+                          union_attrs, predicate, collector):
+        yield from self._scan_indexed_region(
             handle, out_attrs, where_attrs, union_attrs, predicate,
             collector)
-        yield from emitted
-
         yield from self._scan_streaming_region(
             handle, out_attrs, where_attrs, union_attrs, predicate,
             collector)
-
-        if collector is not None:
-            stats = self.table_info.stats or TableStats()
-            row_count = (self.row_count if self.row_count is not None
-                         else self.table_info.row_count_hint or 0)
-            collector.finalize(stats, row_count)
-            self.table_info.stats = stats
 
     # ------------------------------------------------------------------
     # Indexed region: line spans known — block-wise processing
@@ -558,6 +635,7 @@ class RawCsvAccess:
                 cursor = nl + 1
             buffer = buffer[cursor:]
             buffer_start += cursor
+        unterminated = bool(buffer)
         if buffer:  # unterminated last line
             if track and row >= pm.known_line_count:
                 pm.append_line_start(buffer_start)
@@ -574,7 +652,8 @@ class RawCsvAccess:
             row += 1
         flush_block(current_block, self._rows_in_block(current_block, row))
         if track:
-            pm.set_file_length(file_size)
+            pm.set_file_length(file_size,
+                               newline_terminated=not unterminated)
         self.row_count = row
         self._finish_file(row)
 

@@ -3,6 +3,20 @@
 A model binds one :class:`VirtualClock` to one :class:`CostProfile` and
 exposes intention-revealing helpers (``tokenize(n)``, ``convert(type, n)``)
 so call sites read like a description of the work being done.
+
+Batch charging convention: every helper takes a unit *count*, so the
+vectorized scan pipeline charges once per row block with aggregate
+units (``tuple_overhead(nrows)``, ``convert(family, ncolumn_values)``,
+``predicate(n_terms * nrows)``) instead of once per row. Unit totals —
+and therefore virtual time — match the per-row call pattern for I/O,
+conversion, tuple, predicate, map and cache events, and for streaming
+tokenization (the batch path replays the scalar locate-state machine
+to charge identical units). The one permitted deviation is TOKENIZE
+in the *indexed* region: the scalar context's incremental stepping
+sometimes re-scans a field it already delimited, while the batch path
+charges each byte span once — so warm partial-coverage scans may
+charge slightly fewer tokenize units in batch mode (never more work,
+and zero in both modes once the map covers the query).
 """
 
 from __future__ import annotations

@@ -1,0 +1,61 @@
+"""Columnar batches — the unit of the vectorized pull mode.
+
+A :class:`ColumnBatch` carries one block of tuples column-wise: one
+Python list per output column, all the same length. Operators that
+understand batches (:class:`~repro.sql.operators.ScanOp` and friends)
+exchange these instead of individual tuples, amortizing per-tuple
+interpreter overhead over a whole block; everything else consumes the
+:meth:`iter_rows` shim, so a batch-producing subtree composes with the
+Volcano-style row operators unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+
+class ColumnBatch:
+    """One block of tuples, stored column-wise.
+
+    ``columns`` is a list of equal-length value lists, one per output
+    column in plan order. A zero-column batch still knows its row count
+    (``SELECT count(*)`` scans project no attributes but must emit one
+    empty tuple per qualifying row).
+    """
+
+    __slots__ = ("columns", "nrows")
+
+    def __init__(self, columns: Sequence[list], nrows: int):
+        self.columns = list(columns)
+        self.nrows = nrows
+
+    def __len__(self) -> int:
+        return self.nrows
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Row-iterator shim: the batch as plain tuples, in order."""
+        if not self.columns:
+            empty = ()
+            return (empty for _ in range(self.nrows))
+        return zip(*self.columns)
+
+    def column(self, index: int) -> list:
+        return self.columns[index]
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple], width: int) -> "ColumnBatch":
+        """Transpose materialized rows into a batch (the adapter used to
+        lift a row-producing child into a batch-consuming parent)."""
+        if not rows:
+            return cls([[] for _ in range(width)], 0)
+        return cls([list(col) for col in zip(*rows)], len(rows))
+
+
+def batches_to_rows(batches) -> Iterator[tuple]:
+    """Flatten an iterable of batches into a tuple iterator."""
+    for batch in batches:
+        yield from batch.iter_rows()

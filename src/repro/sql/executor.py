@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.simcost.model import CostModel
+from repro.sql.batch import batches_to_rows
 from repro.sql.planner import PlannedQuery
 
 
@@ -52,12 +53,21 @@ def execute(planned: PlannedQuery, model: CostModel,
             counters_before: dict | None = None) -> QueryResult:
     """Run a planned query to completion, timing it on the virtual
     clock. ``start``/``counters_before`` let the caller include
-    parse/plan overhead in the reported elapsed time."""
+    parse/plan overhead in the reported elapsed time.
+
+    Plans whose root produces real columnar batches (a batch-capable
+    scan under filter/project operators — see ``PlanOp.supports_batches``)
+    are pulled block-at-a-time and materialized from whole batches;
+    everything else uses the classic row iterator."""
     if start is None:
         start = model.clock.checkpoint()
     if counters_before is None:
         counters_before = dict(model.clock.counters)
-    rows = list(planned.root.rows())
+    root = planned.root
+    if getattr(root, "supports_batches", False):
+        rows = list(batches_to_rows(root.batches()))
+    else:
+        rows = list(root.rows())
     elapsed = model.clock.elapsed_since(start)
     counters_after = model.clock.counters
     delta = {

@@ -1,4 +1,4 @@
-"""Physical plan operators (Volcano-style generators).
+"""Physical plan operators (Volcano-style generators + columnar pull).
 
 Every operator charges the engine's cost model for the work it does, so
 virtual query time reflects plan choices (hash vs sort aggregation, join
@@ -7,6 +7,17 @@ order) exactly the way the paper's Figure 12 depends on.
 Rows are plain tuples. Each operator carries a *layout*: a dict mapping
 the canonical key (:func:`repro.sql.expressions.expr_key`) of the
 expression that produced a column to its index in the row.
+
+Operators expose two pull modes. ``rows()`` is the classic Volcano
+iterator every operator implements. ``batches()`` pulls
+:class:`~repro.sql.batch.ColumnBatch` blocks instead; ``ScanOp`` feeds
+it straight from a batch-capable access method, ``FilterOp``/
+``ProjectOp``/``LimitOp`` propagate it (amortizing their cost-model
+charges over whole blocks), and every other operator inherits a default
+that transposes its ``rows()`` — so a batch-consuming parent composes
+with any subtree. ``supports_batches`` reports whether a subtree
+produces real (scan-fed) batches; the executor uses it to pick the pull
+mode per query.
 """
 
 from __future__ import annotations
@@ -17,9 +28,13 @@ from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import ExecutionError
 from repro.simcost.model import CostModel
+from repro.sql.batch import ColumnBatch
 from repro.sql.scanapi import AccessMethod, ScanPredicate
 
 Layout = dict[str, int]
+
+#: rows per batch when transposing a row iterator into batches
+DEFAULT_BATCH_ROWS = 1024
 
 
 def layout_resolver(layout: Layout):
@@ -41,6 +56,26 @@ class PlanOp:
     def rows(self) -> Iterator[tuple]:
         raise NotImplementedError
 
+    @property
+    def supports_batches(self) -> bool:
+        """True when :meth:`batches` yields real columnar blocks (a
+        batch-capable scan feeds this subtree) rather than transposed
+        rows."""
+        return False
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        """Columnar pull with a row-transposing default, so any subtree
+        can be consumed batch-wise."""
+        width = len(self.layout)
+        pending: list[tuple] = []
+        for row in self.rows():
+            pending.append(row)
+            if len(pending) >= DEFAULT_BATCH_ROWS:
+                yield ColumnBatch.from_rows(pending, width)
+                pending = []
+        if pending:
+            yield ColumnBatch.from_rows(pending, width)
+
     def describe(self) -> dict:
         raise NotImplementedError
 
@@ -59,6 +94,16 @@ class ScanOp(PlanOp):
 
     def rows(self) -> Iterator[tuple]:
         return self.access.scan(self.needed, self.predicate)
+
+    @property
+    def supports_batches(self) -> bool:
+        return (getattr(self.access, "batch_enabled", False)
+                and hasattr(self.access, "scan_batches"))
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        if self.supports_batches:
+            return self.access.scan_batches(self.needed, self.predicate)
+        return super().batches()
 
     def describe(self) -> dict:
         return {
@@ -93,6 +138,20 @@ class FilterOp(PlanOp):
             if predicate(row) is True:
                 yield row
 
+    @property
+    def supports_batches(self) -> bool:
+        return self.child.supports_batches
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        predicate = self.predicate_fn
+        for batch in self.child.batches():
+            if not batch.nrows:
+                continue
+            self.model.predicate(self.n_terms * batch.nrows)
+            kept = [row for row in batch.iter_rows()
+                    if predicate(row) is True]
+            yield ColumnBatch.from_rows(kept, batch.width)
+
     def describe(self) -> dict:
         return {"op": self.label, "terms": self.n_terms,
                 "input": self.child.describe()}
@@ -115,6 +174,20 @@ class ProjectOp(PlanOp):
         for row in self.child.rows():
             model.tuple_form(width)
             yield tuple(fn(row) for fn in fns)
+
+    @property
+    def supports_batches(self) -> bool:
+        return self.child.supports_batches
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        fns = self.fns
+        width = len(fns)
+        for batch in self.child.batches():
+            if batch.nrows:
+                self.model.tuple_form(width * batch.nrows)
+            columns = [[fn(row) for row in batch.iter_rows()]
+                       for fn in fns]
+            yield ColumnBatch(columns, batch.nrows)
 
     def describe(self) -> dict:
         return {"op": "Project", "columns": self.names,
@@ -401,6 +474,26 @@ class LimitOp(PlanOp):
             yield row
             emitted += 1
             if emitted >= self.limit:
+                return
+
+    @property
+    def supports_batches(self) -> bool:
+        return self.child.supports_batches
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for batch in self.child.batches():
+            if batch.nrows <= remaining:
+                yield batch
+                remaining -= batch.nrows
+            else:
+                yield ColumnBatch([column[:remaining]
+                                   for column in batch.columns],
+                                  remaining)
+                remaining = 0
+            if remaining == 0:
                 return
 
     def describe(self) -> dict:

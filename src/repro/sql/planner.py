@@ -61,6 +61,7 @@ from repro.sql.operators import (
 )
 from repro.sql.optimizer import Optimizer
 from repro.sql.scanapi import ScanPredicate
+from repro.sql.vectorize import build_vector_predicate
 
 
 @dataclass
@@ -394,8 +395,10 @@ class Planner:
             fn = compile_expr(conjoined, attr_resolver)
             attrs = sorted({schema.index_of(ref.name)
                             for ref in collect_column_refs(conjoined)})
+            vector_fn = build_vector_predicate(pushed, attr_resolver)
             predicate = ScanPredicate(attrs, fn, n_terms=len(pushed),
-                                      conjuncts=pushed)
+                                      conjuncts=pushed,
+                                      vector_fn=vector_fn)
         if info.access is None:
             raise PlanningError(
                 f"table {info.name!r} has no access method bound")

@@ -22,12 +22,20 @@ class ScanPredicate:
     (True/False/None). ``n_terms`` is the number of conjuncts, used for
     cost charging. ``conjuncts`` keeps the original ASTs so the
     optimizer can estimate selectivity.
+
+    ``vector_fn``, when the planner could vectorize every conjunct, is
+    the batch-scan fast path: ``vector_fn(columns, nulls, nrows)``
+    returns a boolean qualifying mask over typed NumPy columns (see
+    :mod:`repro.sql.vectorize`). It is always semantically equivalent
+    to mapping ``fn`` over the rows; scans that cannot materialize
+    typed columns simply ignore it.
     """
 
     attrs: list[int]
     fn: Callable[[dict[int, object]], Optional[bool]]
     n_terms: int = 1
     conjuncts: list = field(default_factory=list)
+    vector_fn: Optional[Callable] = None
 
     def passes(self, values: dict[int, object]) -> bool:
         return self.fn(values) is True

@@ -1,0 +1,110 @@
+"""Vectorized predicate compilation for the batch scan.
+
+The planner compiles pushed-down WHERE conjuncts twice: once into the
+row closure every engine path understands (``ScanPredicate.fn``), and —
+when every conjunct has a vectorizable shape — into a mask function
+over NumPy columns (``ScanPredicate.vector_fn``). The batch scan uses
+the mask function when the referenced columns materialized as typed
+arrays; otherwise it falls back to the row closure, so vectorization is
+purely an optimization and never changes results.
+
+Supported shapes (everything else falls back): comparisons between a
+column and a numeric literal (either side), numeric BETWEEN, and AND
+of such terms. SQL three-valued logic is preserved by masking NULL
+rows out of every term's result — a comparison with NULL is not TRUE,
+which is all a WHERE clause observes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sql.ast_nodes import Between, BinaryOp, ColumnRef, Literal
+
+#: columns -> (nrows,) bool mask; columns maps attr index -> np.ndarray,
+#: nulls maps attr index -> bool ndarray (True where the value is NULL).
+VectorFn = Callable[[dict, dict, int], np.ndarray]
+
+_COMPARES = {
+    "=": lambda col, lit: col == lit,
+    "<>": lambda col, lit: col != lit,
+    "<": lambda col, lit: col < lit,
+    "<=": lambda col, lit: col <= lit,
+    ">": lambda col, lit: col > lit,
+    ">=": lambda col, lit: col >= lit,
+}
+
+_FLIPPED = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _numeric_literal(node) -> Optional[float | int]:
+    if isinstance(node, Literal) and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return node.value
+    return None
+
+
+def _vectorize_conjunct(conjunct, resolver) -> Optional[tuple[int, Callable]]:
+    """``(attr, term_fn)`` for one conjunct, or None if unsupported.
+    ``term_fn(column) -> bool mask`` ignores NULL handling (the caller
+    masks NULL rows out)."""
+    if isinstance(conjunct, BinaryOp) and conjunct.op in _COMPARES:
+        left_attr = resolver(conjunct.left)
+        right_attr = resolver(conjunct.right)
+        if left_attr is not None and right_attr is None:
+            literal = _numeric_literal(conjunct.right)
+            if literal is None:
+                return None
+            op = _COMPARES[conjunct.op]
+            return left_attr, (lambda col, _op=op, _l=literal: _op(col, _l))
+        if right_attr is not None and left_attr is None:
+            literal = _numeric_literal(conjunct.left)
+            if literal is None:
+                return None
+            op = _COMPARES[_FLIPPED[conjunct.op]]
+            return right_attr, (lambda col, _op=op, _l=literal: _op(col, _l))
+        return None
+    if isinstance(conjunct, Between) and not conjunct.negated:
+        attr = resolver(conjunct.operand)
+        if attr is None:
+            return None
+        low = _numeric_literal(conjunct.low)
+        high = _numeric_literal(conjunct.high)
+        if low is None or high is None:
+            return None
+        return attr, (lambda col, _lo=low, _hi=high:
+                      (col >= _lo) & (col <= _hi))
+    return None
+
+
+def build_vector_predicate(conjuncts, resolver) -> Optional[VectorFn]:
+    """A mask function equivalent to ``AND`` of ``conjuncts``, or None
+    when any conjunct has a shape the vectorizer does not cover.
+
+    ``resolver`` maps a :class:`ColumnRef` AST node to a file-attribute
+    index (or None) — the same resolver the row compiler uses.
+    """
+    terms: list[tuple[int, Callable]] = []
+    for conjunct in conjuncts:
+        def _resolve(node):
+            return resolver(node) if isinstance(node, ColumnRef) else None
+        term = _vectorize_conjunct(conjunct, _resolve)
+        if term is None:
+            return None
+        terms.append(term)
+
+    def evaluate(columns: dict, nulls: dict, nrows: int) -> np.ndarray:
+        mask = np.ones(nrows, dtype=bool)
+        for attr, term_fn in terms:
+            column = columns.get(attr)
+            if column is None:
+                raise KeyError(attr)
+            mask &= term_fn(column)
+            null_mask = nulls.get(attr)
+            if null_mask is not None:
+                mask &= ~null_mask
+        return mask
+
+    return evaluate

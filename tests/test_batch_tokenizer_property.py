@@ -1,0 +1,155 @@
+"""Property tests pinning the vectorized tokenizer to the scalar one.
+
+For arbitrary CSV byte buffers (random field contents, empty fields,
+ragged widths), the ``block_*`` functions must return exactly the spans
+and chars-scanned counts of ``field_spans_prefix`` / ``span_forward`` /
+``span_backward`` — including the incremental cases where tokenization
+starts from a previously indexed attribute rather than the line start.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import CSVFormatError
+from repro.formats.csvfmt import (
+    BlockTokenizer,
+    block_field_spans,
+    block_span_backward,
+    block_span_forward,
+    field_spans_prefix,
+    newline_offsets,
+    span_backward,
+    span_forward,
+)
+
+# Field bytes avoid the delimiter and newline; empty fields included.
+field_strategy = st.binary(min_size=0, max_size=6).map(
+    lambda b: b.replace(b",", b"x").replace(b"\n", b"y"))
+
+lines_strategy = st.integers(2, 9).flatmap(
+    lambda nattrs: st.tuples(
+        st.just(nattrs),
+        st.lists(st.lists(field_strategy, min_size=nattrs,
+                          max_size=nattrs),
+                 min_size=1, max_size=20)))
+
+
+def build_block(rows):
+    lines = [b",".join(fields) for fields in rows]
+    buf = b"\n".join(lines)
+    starts, pos = [], 0
+    for line in lines:
+        starts.append(pos)
+        pos += len(line) + 1
+    starts = np.array(starts, dtype=np.int64)
+    ends = starts + np.array([len(line) for line in lines],
+                             dtype=np.int64)
+    return buf, lines, starts, ends
+
+
+class TestNewlineOffsets:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_scan(self, blob):
+        expected = [i for i, b in enumerate(blob) if b == 0x0A]
+        assert newline_offsets(blob).tolist() == expected
+
+
+class TestPrefixSpans:
+    @given(lines_strategy, st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_equals_field_spans_prefix(self, case, data):
+        nattrs, rows = case
+        buf, lines, starts, ends = build_block(rows)
+        upto = data.draw(st.integers(0, nattrs - 1))
+        tok = BlockTokenizer(buf)
+        vec_starts, vec_ends, vec_scanned = block_field_spans(
+            tok, starts, ends, upto)
+        for i, line in enumerate(lines):
+            spans, scanned = field_spans_prefix(line, upto)
+            got = [(int(vec_starts[i, j] - starts[i]),
+                    int(vec_ends[i, j] - starts[i]))
+                   for j in range(upto + 1)]
+            assert got == spans[:upto + 1]
+            assert int(vec_scanned[i]) == scanned
+
+    def test_ragged_line_raises_like_scalar(self):
+        buf, lines, starts, ends = build_block(
+            [[b"a", b"b", b"c"], [b"onlyonefield"]])
+        # Scalar raises per line; the block function raises for the
+        # block — same exception type either way.
+        with pytest.raises(CSVFormatError):
+            field_spans_prefix(b"onlyonefield", 2)
+        with pytest.raises(CSVFormatError):
+            block_field_spans(BlockTokenizer(buf), starts, ends, 2)
+
+
+class TestIncrementalSpans:
+    @given(lines_strategy, st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_forward_from_indexed_attribute(self, case, data):
+        """From a known (previously indexed) attribute start, stepping
+        forward must match span_forward row by row."""
+        nattrs, rows = case
+        buf, lines, starts, ends = build_block(rows)
+        base_attr = data.draw(st.integers(0, nattrs - 1))
+        steps = data.draw(st.integers(0, nattrs - 1 - base_attr))
+        tok = BlockTokenizer(buf)
+        prefix_starts, _, _ = block_field_spans(tok, starts, ends,
+                                                base_attr)
+        base_pos = prefix_starts[:, base_attr]
+        vec_starts, vec_ends, vec_scanned = block_span_forward(
+            tok, base_pos, steps, ends)
+        for i, line in enumerate(lines):
+            spans, scanned = span_forward(
+                line, int(base_pos[i] - starts[i]), steps)
+            got = [(int(vec_starts[i, j] - starts[i]),
+                    int(vec_ends[i, j] - starts[i]))
+                   for j in range(steps + 1)]
+            assert got == spans
+            assert int(vec_scanned[i]) == scanned
+
+    @given(lines_strategy, st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_backward_from_indexed_attribute(self, case, data):
+        """Backward tokenization from a known attribute (§4.2 "jumps
+        ... and tokenizes backwards") must match span_backward."""
+        nattrs, rows = case
+        buf, lines, starts, ends = build_block(rows)
+        base_attr = data.draw(st.integers(1, nattrs - 1))
+        steps = data.draw(st.integers(1, base_attr))
+        tok = BlockTokenizer(buf)
+        prefix_starts, _, _ = block_field_spans(tok, starts, ends,
+                                                base_attr)
+        base_pos = prefix_starts[:, base_attr]
+        vec_starts, vec_ends, vec_scanned = block_span_backward(
+            tok, base_pos, steps, starts)
+        for i, line in enumerate(lines):
+            spans, scanned = span_backward(
+                line, int(base_pos[i] - starts[i]), steps)
+            got = [(int(vec_starts[i, j] - starts[i]),
+                    int(vec_ends[i, j] - starts[i]))
+                   for j in range(steps)]
+            assert got == spans
+            assert int(vec_scanned[i]) == scanned
+
+    def test_forward_running_out_raises_like_scalar(self):
+        buf, lines, starts, ends = build_block([[b"a", b"b"]])
+        tok = BlockTokenizer(buf)
+        with pytest.raises(CSVFormatError):
+            span_forward(lines[0], 0, 5)
+        with pytest.raises(CSVFormatError):
+            block_span_forward(tok, starts, 5, ends)
+
+    def test_backward_running_out_raises_like_scalar(self):
+        buf, lines, starts, ends = build_block([[b"a", b"b", b"c"]])
+        tok = BlockTokenizer(buf)
+        prefix_starts, _, _ = block_field_spans(tok, starts, ends, 2)
+        base_pos = prefix_starts[:, 2]
+        with pytest.raises(CSVFormatError):
+            span_backward(lines[0], int(base_pos[0]), 5)
+        with pytest.raises(CSVFormatError):
+            block_span_backward(tok, base_pos, 5, starts)
