@@ -1,15 +1,19 @@
 """Quickstart: query a raw CSV file with zero loading.
 
 The NoDB premise (§1): you have a data file and a question; the
-data-to-query time should be the time to type the query. PostgresRaw
-registers the file (touching no data), answers SQL immediately, and
-gets faster as it learns the file's structure.
+data-to-query time should be the time to type the query. With the
+session API the ceremony is one call: ``repro.connect()`` gives a
+PostgresRaw-backed session; register the file (touching no data) and
+query immediately — with ``?`` parameters, prepared statements that
+skip all parse/plan work on re-execution, and streaming cursors that
+never materialize more than a scan block.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro import INTEGER, PostgresRaw, Schema, VirtualFS, varchar
-from repro.workloads.micro import generate_micro_csv, micro_schema
+import repro
+from repro import INTEGER, Schema, VirtualFS, varchar
+from repro.workloads.micro import generate_micro_csv
 
 
 def main() -> None:
@@ -21,40 +25,60 @@ def main() -> None:
     schema = generate_micro_csv(vfs, "sensors.csv", rows=2000, nattrs=25,
                                 seed=7)
 
-    db = PostgresRaw(vfs=vfs)
-    db.register_csv("sensors", "sensors.csv", schema)
+    session = repro.connect(vfs=vfs)
+    session.register_csv("sensors", "sensors.csv", schema)
     print("registered sensors.csv — engine time so far: "
-          f"{db.elapsed():.3f}s (no load step!)\n")
+          f"{session.engine.elapsed():.3f}s (no load step!)\n")
 
     # Query 1: the first touch pays for tokenizing and parsing.
     q = "SELECT avg(a3), min(a7), max(a7) FROM sensors WHERE a1 < 500000000"
-    first = db.query(q)
+    first = session.query(q)
     print(f"Q1  {first.rows[0]}")
     print(f"    virtual time: {first.elapsed * 1000:.2f} ms "
           f"(cold: tokenized {first.counters.get('tokenize', 0):.0f} chars)")
 
-    # Query 2: the positional map + cache kick in.
-    second = db.query(q)
+    # Query 2: the positional map + cache kick in — and the statement
+    # cache means the identical SQL is not even re-parsed.
+    second = session.query(q)
     print(f"Q2  {second.rows[0]}")
     print(f"    virtual time: {second.elapsed * 1000:.2f} ms "
           f"({first.elapsed / second.elapsed:.1f}x faster — map + cache)")
 
-    aux = db.auxiliary_bytes("sensors")
+    aux = session.engine.auxiliary_bytes("sensors")
     print(f"\nauxiliary structures: positional map "
           f"{aux['positional_map']:,} B, cache {aux['cache']:,} B")
 
-    # A different query still benefits from what was learned.
-    third = db.query("SELECT a2, count(*) FROM sensors "
-                     "WHERE a1 < 100000000 GROUP BY a2 LIMIT 5")
-    print(f"\nQ3 (new attributes) virtual time: "
-          f"{third.elapsed * 1000:.2f} ms, {len(third)} rows")
+    # Prepared statements: parse + plan once, bind many times.
+    stmt = session.prepare(
+        "SELECT a2, count(*) FROM sensors WHERE a1 < ? GROUP BY a2 LIMIT 5")
+    for threshold in (100_000_000, 900_000_000):
+        result = stmt.execute((threshold,)).result()
+        print(f"\nprepared(a1 < {threshold:,}): {len(result)} groups in "
+              f"{result.elapsed * 1000:.2f} ms (zero re-parse/re-plan)")
 
-    # Files added later are immediately queryable (§4.5).
+    # Streaming: fetch a big scan in small bites — the cursor buffers
+    # at most one scan block beyond what you ask for.
+    cursor = session.execute("SELECT a1, a2 FROM sensors")
+    preview = cursor.fetchmany(3)
+    print(f"\nstreaming preview: {preview} "
+          f"(peak buffered: {cursor.peak_buffered_rows} rows)")
+    cursor.close()  # abandon the rest; partial map/cache state is kept
+
+    # Files added later are immediately queryable (§4.5) — with qmark
+    # parameter binding.
     vfs.create("labels.csv", b"1,calibration\n2,production\n")
-    db.add_file("labels", "labels.csv",
-                Schema([("run", INTEGER), ("phase", varchar())]))
-    print("\nnew file labels.csv queryable instantly:",
-          db.query("SELECT phase FROM labels WHERE run = 2").rows)
+    session.add_file("labels", "labels.csv",
+                     Schema([("run", INTEGER), ("phase", varchar())]))
+    row = session.execute("SELECT phase FROM labels WHERE run = ?",
+                          (2,)).fetchone()
+    print("\nnew file labels.csv queryable instantly:", row)
+
+    # EXPLAIN shows the physical plan without running anything.
+    print("\nEXPLAIN of Q1:")
+    for (line,) in session.execute("EXPLAIN " + q):
+        print("   " + line)
+
+    session.close()
 
 
 if __name__ == "__main__":

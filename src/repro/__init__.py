@@ -1,23 +1,34 @@
 """repro: a full reproduction of *NoDB: Efficient Query Execution on Raw
 Data Files* (Alagiannis et al., SIGMOD 2012).
 
-Quickstart::
+Quickstart (session API)::
 
-    from repro import PostgresRaw, Schema, INTEGER, varchar
+    import repro
+    from repro import Schema, INTEGER, varchar
     from repro.storage import VirtualFS
 
     vfs = VirtualFS()
     vfs.create("people.csv", b"1,alice\\n2,bob\\n")
-    db = PostgresRaw(vfs=vfs)
-    db.register_csv("people", "people.csv",
-                    Schema([("id", INTEGER), ("name", varchar())]))
-    result = db.query("SELECT name FROM people WHERE id = 2")
-    assert result.rows == [("bob",)]
+    session = repro.connect(vfs=vfs)
+    session.register_csv("people", "people.csv",
+                         Schema([("id", INTEGER), ("name", varchar())]))
+    row = session.execute("SELECT name FROM people WHERE id = ?",
+                          (2,)).fetchone()
+    assert row == ("bob",)
 
-See DESIGN.md for the system map and EXPERIMENTS.md for the
-paper-figure reproductions under benchmarks/.
+The pre-session surface remains: ``PostgresRaw.query(sql)`` returns an
+eager :class:`QueryResult` (and ``Database.execute`` survives as a
+deprecated alias). See DESIGN.md for the system map and EXPERIMENTS.md
+for the paper-figure reproductions under benchmarks/.
 """
 
+from repro.api import (
+    Cursor,
+    PreparedStatement,
+    Scheduler,
+    Session,
+    connect,
+)
 from repro.core.cache import BinaryCache
 from repro.core.config import PostgresRawConfig
 from repro.core.engine import PostgresRaw
@@ -56,9 +67,11 @@ from repro.sql.datatypes import (
 from repro.sql.executor import QueryResult
 from repro.storage.vfs import OSPageCache, VirtualFS
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # session/cursor façade (repro.api)
+    "connect", "Session", "Cursor", "PreparedStatement", "Scheduler",
     # engines
     "PostgresRaw", "PostgresRawConfig", "LoadedDBMS", "ExternalFilesDBMS",
     "CFitsioProgram", "Database",

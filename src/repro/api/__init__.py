@@ -1,0 +1,50 @@
+"""repro.api: the session/cursor façade over any repro engine.
+
+DB-API 2.0 flavored::
+
+    import repro
+
+    session = repro.connect()                   # fresh PostgresRaw
+    session.register_csv("t", "t.csv", schema)  # forwarded to the engine
+
+    cur = session.execute("SELECT a, b FROM t WHERE a < ?", (10,))
+    for row in cur:                             # streams batch-by-batch
+        ...
+
+    stmt = session.prepare("SELECT count(*) FROM t WHERE a < ?")
+    stmt.execute((5,)).fetchone()               # zero parse/plan work
+    stmt.execute((9,)).fetchone()
+
+Module-level DB-API attributes (``apilevel`` etc.) are provided for
+tooling that sniffs them; ``paramstyle`` is ``qmark``.
+"""
+
+from __future__ import annotations
+
+from repro.api.cursor import Cursor
+from repro.api.exceptions import (
+    DataError,
+    DatabaseError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+)
+from repro.api.scheduler import QueryJob, Scheduler
+from repro.api.session import PreparedStatement, Session, connect
+
+apilevel = "2.0"
+threadsafety = 1  # module-level sharing only; engines are single-threaded
+paramstyle = "qmark"
+
+__all__ = [
+    "connect", "Session", "Cursor", "PreparedStatement",
+    "Scheduler", "QueryJob",
+    "apilevel", "threadsafety", "paramstyle",
+    "Error", "InterfaceError", "DatabaseError", "DataError",
+    "OperationalError", "IntegrityError", "InternalError",
+    "ProgrammingError", "NotSupportedError",
+]

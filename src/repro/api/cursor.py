@@ -1,0 +1,240 @@
+"""DB-API-2.0-flavored cursors with streaming fetch.
+
+A cursor never holds more than it must: ``execute`` plans (or reuses a
+cached plan) and submits a :class:`~repro.api.scheduler.QueryJob`, but
+rows are produced lazily — each ``fetchone``/``fetchmany(n)`` asks the
+scheduler to pull just enough batches to satisfy it, so a large scan is
+materialized at most one block past what the client consumed
+(``peak_buffered_rows`` exposes the high-water mark; see
+``engine.stream_block_rows()`` for the block granularity). ``fetchall``
+and :meth:`Cursor.result` remain the eager conveniences on top.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Union
+
+from repro.api.exceptions import InterfaceError, map_error
+from repro.api.scheduler import QueryJob
+from repro.api.session import PreparedStatement
+from repro.sql.executor import QueryResult, column_index
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import Session
+
+#: a cursor.execute operation: SQL text or an already-prepared statement
+Operation = Union[str, PreparedStatement]
+
+
+class Cursor:
+    """One stream of query results inside a session."""
+
+    def __init__(self, session: "Session"):
+        self.session = session
+        self.arraysize = 1
+        self._closed = False
+        self._job: Optional[QueryJob] = None
+        self._rowcount_override: Optional[int] = None
+
+    @property
+    def closed(self) -> bool:
+        """Closed explicitly, or implicitly by the session closing."""
+        return self._closed or self.session.closed
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, operation: Operation, params: Sequence = ()
+                ) -> "Cursor":
+        """Run one statement; returns ``self`` so fetches can chain.
+
+        ``operation`` is SQL text (``?`` placeholders bound from
+        ``params``; repeated text reuses the session's statement cache)
+        or a :class:`PreparedStatement`. Any previous unfinished result
+        on this cursor is abandoned."""
+        self._check_open()
+        self._abandon()
+        # Detach the old result before anything below can raise, so a
+        # failed execute leaves the cursor empty (fetches raise "no
+        # query executed") instead of serving the dead result's rows.
+        self._job = None
+        self._rowcount_override = None
+        statement = self._resolve(operation, params)
+        self._job = self.session._start_job(statement, params)
+        return self
+
+    def executemany(self, operation: Operation,
+                    seq_of_params: Sequence[Sequence]) -> "Cursor":
+        """Execute once per parameter sequence (statement prepared a
+        single time). Per DB-API, no result set is kept — each
+        execution is drained with its buffer discarded as it streams —
+        but ``rowcount`` totals the rows produced."""
+        self._check_open()
+        self._abandon()
+        self._job = None
+        self._rowcount_override = None
+        param_sets = list(seq_of_params)
+        statement = self._resolve(operation,
+                                  param_sets[0] if param_sets else ())
+        total = 0
+        for params in param_sets:
+            job = self.session._start_job(statement, params)
+            while self.session.scheduler.advance(job):
+                job.buffer.clear()
+            job.buffer.clear()
+            if job.state == "failed":
+                raise map_error(job.error) from job.error
+            total += job.rows_produced
+        self._job = None
+        self._rowcount_override = total
+        return self
+
+    def _resolve(self, operation: Operation,
+                 params: Sequence) -> PreparedStatement:
+        if isinstance(operation, PreparedStatement):
+            return operation
+        return self.session._statement_for_execute(operation, params)
+
+    # -- fetching ------------------------------------------------------------
+    def fetchone(self) -> Optional[tuple]:
+        """The next row, or None when the result is exhausted."""
+        job = self._require_job()
+        self._fill(job, 1)
+        if not job.buffer:
+            return None
+        job.rows_fetched += 1
+        row = job.buffer.popleft()
+        self._probe_finish(job)
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        """Up to ``size`` rows (default ``arraysize``), pulling only
+        the batches needed to satisfy the request."""
+        job = self._require_job()
+        want = self.arraysize if size is None else size
+        if want < 0:
+            raise InterfaceError("fetchmany size must be >= 0")
+        self._fill(job, want)
+        out = []
+        while job.buffer and len(out) < want:
+            out.append(job.buffer.popleft())
+        job.rows_fetched += len(out)
+        self._probe_finish(job)
+        return out
+
+    def fetchall(self) -> list[tuple]:
+        """Every remaining row (the eager path)."""
+        job = self._require_job()
+        self._drain(job)
+        out = list(job.buffer)
+        job.buffer.clear()
+        job.rows_fetched += len(out)
+        return out
+
+    def result(self) -> QueryResult:
+        """Drain the remaining rows into the classic eager
+        :class:`QueryResult` (with this query's own elapsed/counters
+        ledger and plan summary attached)."""
+        job = self._require_job()
+        return job.to_result(self.fetchall())
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def _fill(self, job: QueryJob, want: int) -> None:
+        while len(job.buffer) < want and not job.done:
+            self.session.scheduler.advance(job)
+        if job.state == "failed":
+            raise map_error(job.error) from job.error
+
+    def _probe_finish(self, job: QueryJob) -> None:
+        """When a fetch drained the buffer, pull ahead until rows
+        arrive or the stream ends. A fully consumed result is thereby
+        finished immediately — releasing its scheduler slot and its
+        prepared statement's re-bind lock — at the cost of buffering
+        at most one non-empty block ahead of the client. A failure
+        found while probing stays on the job and surfaces at the next
+        fetch (this fetch's rows were already produced)."""
+        while not job.done and not job.buffer:
+            self.session.scheduler.advance(job)
+
+    def _drain(self, job: QueryJob) -> None:
+        self.session.scheduler.drain(job)
+        if job.state == "failed":
+            raise map_error(job.error) from job.error
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        """DB-API 7-tuples for the current result's columns."""
+        if self._job is None:
+            return None
+        return [(name, None, None, None, None, None, None)
+                for name in self._job.names]
+
+    @property
+    def rowcount(self) -> int:
+        """Rows produced by the finished statement (-1 while the
+        stream is still open, per DB-API)."""
+        if self._rowcount_override is not None:
+            return self._rowcount_override
+        if self._job is not None and self._job.state == "finished":
+            return self._job.rows_produced
+        return -1
+
+    def column_index(self, name: str) -> int:
+        """Position of ``name`` among the result columns; raises the
+        same descriptive error as ``QueryResult.column``."""
+        job = self._require_job()
+        return column_index(name, job.names)
+
+    @property
+    def plan(self) -> dict:
+        """Physical plan summary of the current statement."""
+        return dict(self._require_job().plan)
+
+    def counters(self) -> dict[str, float]:
+        """Cost-event units charged to this query so far."""
+        return dict(self._require_job().counters)
+
+    def elapsed(self) -> float:
+        """Virtual seconds charged to this query so far."""
+        return self._require_job().elapsed
+
+    @property
+    def peak_buffered_rows(self) -> int:
+        """High-water mark of rows buffered between the stream and the
+        client — the streaming guarantee made observable. 0 before any
+        execution; never raises."""
+        return self._job.peak_buffered if self._job is not None else 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def _require_job(self) -> QueryJob:
+        self._check_open()
+        if self._job is None:
+            raise InterfaceError("no query has been executed on this cursor")
+        return self._job
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise InterfaceError("cursor is closed")
+        self.session._check_open()
+
+    def _abandon(self) -> None:
+        if self._job is not None and not self._job.done:
+            self.session.scheduler.cancel(self._job)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._abandon()
+        self._job = None
+        self._closed = True
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

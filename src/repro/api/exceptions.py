@@ -1,0 +1,98 @@
+"""DB-API 2.0 exception hierarchy mapped onto :mod:`repro.errors`.
+
+The library's internal errors describe *mechanisms* (lexer, planner,
+storage, formats); database clients expect the PEP 249 taxonomy. Every
+class here derives from both :class:`repro.errors.ReproError` and the
+DB-API :class:`Error` root, so ``except ReproError`` keeps working while
+session/cursor users can write ``except repro.api.ProgrammingError``.
+
+:func:`translate_errors` is the boundary guard: code inside the ``with``
+block may raise any internal error; it comes out re-raised as the
+mapped DB-API class with the original attached as ``__cause__``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro import errors as _errors
+from repro.errors import ReproError
+
+
+class Error(ReproError):
+    """DB-API root for everything raised by the session/cursor layer."""
+
+
+class InterfaceError(Error):
+    """Misuse of the interface itself (closed cursor, no result set)."""
+
+
+class DatabaseError(Error):
+    """Root for errors coming from the engine."""
+
+
+class DataError(DatabaseError):
+    """Problems with the data (bad conversions, malformed raw rows)."""
+
+
+class OperationalError(DatabaseError):
+    """Errors in the engine's operation (storage, execution, admission)."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational integrity violations (unused: the engine is read-only)."""
+
+
+class InternalError(DatabaseError):
+    """The engine hit an internal inconsistency."""
+
+
+class ProgrammingError(DatabaseError):
+    """Errors in the submitted SQL or its parameters (syntax, unknown
+    tables/columns, wrong parameter count)."""
+
+
+class NotSupportedError(DatabaseError):
+    """A requested feature the engine does not implement."""
+
+
+#: internal error class -> DB-API class, most-specific first.
+_ERROR_MAP: list[tuple[type, type]] = [
+    (_errors.LexerError, ProgrammingError),
+    (_errors.ParseError, ProgrammingError),
+    (_errors.PlanningError, ProgrammingError),
+    (_errors.CatalogError, ProgrammingError),
+    (_errors.UnknownColumnError, ProgrammingError),
+    (_errors.BindError, ProgrammingError),
+    (_errors.BudgetError, OperationalError),
+    (_errors.TypeError_, DataError),
+    (_errors.FormatError, DataError),
+    (_errors.StorageError, OperationalError),
+    (_errors.ExecutionError, OperationalError),
+]
+
+
+def map_error(exc: BaseException) -> Error:
+    """The DB-API exception equivalent to an internal error. Plain
+    Python exceptions escaping expression evaluation (e.g. a type
+    mismatch between a parameter and a column) map to
+    :class:`OperationalError`."""
+    if isinstance(exc, Error):
+        return exc
+    for internal_cls, api_cls in _ERROR_MAP:
+        if isinstance(exc, internal_cls):
+            return api_cls(str(exc))
+    if isinstance(exc, ReproError):
+        return DatabaseError(str(exc))
+    return OperationalError(f"query execution failed: {exc}")
+
+
+@contextmanager
+def translate_errors():
+    """Re-raise internal errors as their DB-API classes (chained)."""
+    try:
+        yield
+    except Error:
+        raise
+    except ReproError as exc:
+        raise map_error(exc) from exc

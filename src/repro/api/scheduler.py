@@ -1,0 +1,235 @@
+"""Query admission and cooperative streaming execution.
+
+One engine serves many sessions, but it is a single (virtual-time)
+machine: the :class:`Scheduler` is the gate in front of it. Queries are
+admitted FIFO up to ``max_in_flight``; admitted queries execute
+cooperatively — each :meth:`Scheduler.advance` call pulls exactly one
+:class:`~repro.sql.batch.ColumnBatch` from one query's live iterator,
+so concurrent cursors interleave at batch boundaries and a fetch on a
+still-queued query drives the in-flight ones forward until a slot
+frees (the single-threaded analogue of blocking on admission).
+
+Every pull is bracketed by engine clock/counter checkpoints and the
+delta is charged to the pulling :class:`QueryJob` alone, so per-query —
+and, summed, per-session — resource accounting falls out of the cost
+model without any global instrumentation (cf. resource-utilization
+monitoring for raw-data query processing).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.sql.batch import ColumnBatch
+from repro.sql.executor import (
+    QueryResult,
+    counters_delta,
+    execute_batches,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.session import PreparedStatement, Session
+    from repro.sql.planner import PlannedQuery
+
+
+class QueryJob:
+    """One query's life inside the scheduler.
+
+    Holds the live batch iterator, the bounded row buffer cursors fetch
+    from, and the query's own cost ledger (clock/counter deltas charged
+    at every pull). States: ``queued`` (submitted, waiting for a slot),
+    ``running`` (iterator live), ``finished``, ``failed``, ``closed``.
+    """
+
+    __slots__ = ("session", "sql", "planned", "names", "plan", "statement",
+                 "state", "buffer", "counters", "elapsed", "rows_produced",
+                 "rows_fetched", "peak_buffered", "error", "_iterator")
+
+    def __init__(self, session: "Session", sql: str,
+                 planned: "PlannedQuery | None",
+                 statement: "PreparedStatement | None" = None,
+                 plan: dict | None = None):
+        self.session = session
+        self.sql = sql
+        self.planned = planned
+        self.names: list[str] = list(planned.names) if planned else []
+        # The plan summary is immutable per physical plan; prepared
+        # statements pass their cached copy so re-execution does not
+        # re-walk the plan tree.
+        self.plan: dict = (plan if plan is not None
+                           else planned.describe() if planned else {})
+        self.statement = statement
+        self.state = "queued"
+        self.buffer: deque = deque()
+        self.counters: dict[str, float] = {}
+        self.elapsed = 0.0
+        self.rows_produced = 0
+        self.rows_fetched = 0
+        self.peak_buffered = 0
+        self.error: Optional[BaseException] = None
+        self._iterator: Optional[Iterator[ColumnBatch]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    @classmethod
+    def completed(cls, session: "Session", sql: str, names: list[str],
+                  rows: list[tuple], plan: dict) -> "QueryJob":
+        """A job born finished (EXPLAIN: the plan itself is the result)."""
+        job = cls(session, sql, None, plan=plan)
+        job.names = list(names)
+        job.buffer.extend(rows)
+        job.rows_produced = len(rows)
+        job.peak_buffered = len(rows)
+        job.state = "finished"
+        return job
+
+    def start(self) -> None:
+        self._iterator = execute_batches(self.planned)
+        self.state = "running"
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("finished", "failed", "closed")
+
+    def charge(self, elapsed: float, counters: dict[str, float]) -> None:
+        """Attribute one region of engine work to this query."""
+        self.elapsed += elapsed
+        for key, units in counters.items():
+            self.counters[key] = self.counters.get(key, 0) + units
+        self.session._charge(elapsed, counters)
+
+    def to_result(self, rows: list[tuple]) -> QueryResult:
+        return QueryResult(columns=list(self.names), rows=rows,
+                           elapsed=self.elapsed, counters=dict(self.counters),
+                           plan=self.plan)
+
+
+class Scheduler:
+    """FIFO admission with a max-in-flight gate over one shared engine."""
+
+    def __init__(self, engine, max_in_flight: int = 4):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.engine = engine
+        self.max_in_flight = max_in_flight
+        self._running: list[QueryJob] = []
+        self._waiting: deque[QueryJob] = deque()
+        self._rr = 0  # round-robin pointer for driving foreign jobs
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return len(self._running)
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    # -- admission ---------------------------------------------------------
+    def submit(self, job: QueryJob) -> None:
+        """Queue a job; it is admitted immediately when a slot is free
+        and no earlier job is still waiting (strict FIFO)."""
+        self._waiting.append(job)
+        self._refill()
+
+    def _refill(self) -> None:
+        while self._waiting and len(self._running) < self.max_in_flight:
+            job = self._waiting.popleft()
+            job.start()
+            self._running.append(job)
+
+    # -- cooperative stepping ----------------------------------------------
+    def advance(self, job: QueryJob) -> bool:
+        """Make one unit of progress on behalf of ``job``: pull one
+        batch from it — or, while it is still queued, from the oldest
+        in-flight queries (round-robin) until a slot frees and the job
+        is admitted. Returns False once the job is done."""
+        if job.state == "queued":
+            self._drive_until_admitted(job)
+        if job.done:
+            return False
+        self._pull(job)
+        return not job.done
+
+    def drain(self, job: QueryJob) -> None:
+        """Run ``job`` to completion (the eager path)."""
+        while self.advance(job):
+            pass
+
+    def _drive_until_admitted(self, job: QueryJob) -> None:
+        """Free a slot by completing in-flight work (round-robin, one
+        batch at a time). Victim jobs buffer the rows they produce for
+        their own cursors — so a half-read query abandoned by its
+        client ends up fully buffered when admission pressure forces
+        it to completion. That is the deliberate trade-off of a strict
+        FIFO gate in one thread: the streaming bound (one block past
+        the fetch) is a guarantee to the *fetching* client, not to
+        clients who leave results unread (see ROADMAP: backing slots
+        with real workers removes the need to drive victims at all)."""
+        while job.state == "queued":
+            if not self._running:
+                self._refill()
+                continue
+            victim = self._running[self._rr % len(self._running)]
+            self._rr += 1
+            self._pull(victim)
+
+    def _pull(self, job: QueryJob) -> None:
+        """One batch from ``job``'s iterator, its cost charged to the
+        job's own ledger. Any failure — engine error or plain Python
+        exception from expression evaluation — is recorded on the job
+        (raised to *its* cursor at fetch time), never propagated to
+        whichever client happened to be driving the scheduler."""
+        clock = self.engine.clock
+        before_seconds = clock.checkpoint()
+        before_counters = dict(clock.counters)
+        batch = None
+        exhausted = False
+        error: Optional[BaseException] = None
+        try:
+            batch = next(job._iterator)
+        except StopIteration:
+            exhausted = True
+        except Exception as exc:
+            error = exc
+        finally:
+            job.charge(clock.elapsed_since(before_seconds),
+                       counters_delta(clock.counters, before_counters))
+        if error is not None:
+            self._settle(job, "failed", error)
+            return
+        if exhausted:
+            self._settle(job, "finished")
+            return
+        if batch.nrows:
+            job.buffer.extend(batch.iter_rows())
+            job.rows_produced += batch.nrows
+            if len(job.buffer) > job.peak_buffered:
+                job.peak_buffered = len(job.buffer)
+
+    def cancel(self, job: QueryJob) -> None:
+        """Abandon a job: close its live iterator (scans keep their
+        partial positional-map/cache state, as with any abandoned
+        generator) and release its slot."""
+        if job.done:
+            return
+        if job.state == "queued":
+            try:
+                self._waiting.remove(job)
+            except ValueError:
+                pass
+            job.state = "closed"
+            job.session._settle_job(job)
+            return
+        if job._iterator is not None:
+            job._iterator.close()
+        self._settle(job, "closed")
+
+    def _settle(self, job: QueryJob, state: str,
+                error: Optional[BaseException] = None) -> None:
+        job.state = state
+        job.error = error
+        if job in self._running:
+            self._running.remove(job)
+        job.session._settle_job(job)
+        self._refill()

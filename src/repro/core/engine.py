@@ -32,6 +32,11 @@ class PostgresRaw(Database):
         self.config = config if config is not None else PostgresRawConfig()
         self.use_statistics = self.config.enable_statistics
 
+    def stream_block_rows(self) -> int:
+        """Streaming cursors buffer at the raw scan's block granularity
+        (the unit of PM chunking, caching and batch emission)."""
+        return self.config.row_block_size
+
     # ------------------------------------------------------------------
     def register_csv(self, name: str, csv_path: str, schema: Schema,
                      ) -> TableInfo:

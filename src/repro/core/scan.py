@@ -267,10 +267,7 @@ class RawCsvAccess:
             for batch in scanner.run(handle):
                 yield from batch.iter_rows()
         else:
-            yield from self._scan_indexed_region(
-                handle, out_attrs, where_attrs, union_attrs, predicate,
-                collector)
-            yield from self._scan_streaming_region(
+            yield from self._scan_rows_scalar(
                 handle, out_attrs, where_attrs, union_attrs, predicate,
                 collector)
         self._finalize_stats(collector)
@@ -304,12 +301,17 @@ class RawCsvAccess:
 
     def _scan_rows_scalar(self, handle, out_attrs, where_attrs,
                           union_attrs, predicate, collector):
+        # The indexed/streaming split is frozen once per scan: another
+        # cursor's concurrent scan may grow the positional map while
+        # this generator is live, and re-reading the span mid-scan
+        # would skip the rows the other scan just indexed.
+        spanned = self._rows_with_known_span()
         yield from self._scan_indexed_region(
-            handle, out_attrs, where_attrs, union_attrs, predicate,
-            collector)
+            handle, spanned, out_attrs, where_attrs, union_attrs,
+            predicate, collector)
         yield from self._scan_streaming_region(
-            handle, out_attrs, where_attrs, union_attrs, predicate,
-            collector)
+            handle, spanned, out_attrs, where_attrs, union_attrs,
+            predicate, collector)
 
     # ------------------------------------------------------------------
     # Indexed region: line spans known — block-wise processing
@@ -326,9 +328,9 @@ class RawCsvAccess:
             return known  # complete index (e.g. built by the prewarmer)
         return known - 1  # last known line's end is the next line's start
 
-    def _scan_indexed_region(self, handle, out_attrs, where_attrs,
-                             union_attrs, predicate, collector):
-        spanned = self._rows_with_known_span()
+    def _scan_indexed_region(self, handle, spanned, out_attrs,
+                             where_attrs, union_attrs, predicate,
+                             collector):
         if spanned == 0:
             return
         block_size = self.config.row_block_size
@@ -554,9 +556,9 @@ class RawCsvAccess:
     # ------------------------------------------------------------------
     # Streaming region: unseen tail — sequential read, discover lines
     # ------------------------------------------------------------------
-    def _scan_streaming_region(self, handle, out_attrs, where_attrs,
-                               union_attrs, predicate, collector):
-        spanned = self._rows_with_known_span()
+    def _scan_streaming_region(self, handle, spanned, out_attrs,
+                               where_attrs, union_attrs, predicate,
+                               collector):
         if self.row_count is not None and spanned >= self.row_count:
             return  # whole file already indexed
         model = self.model

@@ -116,8 +116,14 @@ class BatchCsvScan:
 
     # ------------------------------------------------------------------
     def run(self, handle) -> Iterator[ColumnBatch]:
-        yield from self._indexed_region(handle)
-        yield from self._streaming_region(handle)
+        # Freeze the indexed/streaming split for the whole scan: a
+        # concurrent scan (another cursor on the same table) may grow
+        # the positional map while this generator is live, and
+        # re-reading the span between regions would skip the rows the
+        # other scan just indexed.
+        spanned = self.access._rows_with_known_span()
+        yield from self._indexed_region(handle, spanned)
+        yield from self._streaming_region(handle, spanned)
 
     # ------------------------------------------------------------------
     # Column conversion (shared by both regions)
@@ -218,8 +224,7 @@ class BatchCsvScan:
     # ==================================================================
     # Indexed region
     # ==================================================================
-    def _indexed_region(self, handle) -> Iterator[ColumnBatch]:
-        spanned = self.access._rows_with_known_span()
+    def _indexed_region(self, handle, spanned: int) -> Iterator[ColumnBatch]:
         if spanned == 0:
             return
         block_size = self.config.row_block_size
@@ -415,11 +420,11 @@ class BatchCsvScan:
     # ==================================================================
     # Streaming region
     # ==================================================================
-    def _streaming_region(self, handle) -> Iterator[ColumnBatch]:
+    def _streaming_region(self, handle, spanned: int,
+                          ) -> Iterator[ColumnBatch]:
         access = self.access
         pm = self.pm
         track = pm is not None
-        spanned = access._rows_with_known_span()
         if access.row_count is not None and spanned >= access.row_count:
             return
         model = self.model

@@ -5,21 +5,38 @@ straw-men — parses, plans and executes queries identically; they differ
 only in the access methods their catalogs bind (and in their calibrated
 cost profiles). This is the paper's experimental control: PostgresRaw
 "shares the same query execution engine" as PostgreSQL (§5).
+
+Two public surfaces sit on this path. :meth:`Database.query` is the
+original one-shot call: parse, plan, run to completion, return an eager
+:class:`~repro.sql.executor.QueryResult`. The session/cursor façade in
+:mod:`repro.api` (``repro.connect(engine=...)``) reuses the same
+pieces — :meth:`parse_sql`, :meth:`plan_select`, :meth:`refresh_for` —
+but keeps the parsed AST and physical plan cached in prepared
+statements and streams results batch-at-a-time through a shared
+:class:`~repro.api.scheduler.Scheduler`.
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import TYPE_CHECKING
+
 from repro.simcost.clock import VirtualClock
 from repro.simcost.model import CostModel
 from repro.simcost.profiles import CostProfile
-from repro.sql.ast_nodes import Exists, Select
+from repro.sql.ast_nodes import Exists, Explain, Select
 from repro.sql.catalog import Catalog
-from repro.sql.executor import QueryResult, execute
+from repro.sql.executor import QueryResult, execute, explain_result
 from repro.sql.expressions import split_conjuncts
+from repro.sql.operators import DEFAULT_BATCH_ROWS
 from repro.sql.optimizer import Optimizer
 from repro.sql.parser import parse
-from repro.sql.planner import Planner
+from repro.sql.planner import PlannedQuery, Planner
 from repro.storage.vfs import VirtualFS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.scheduler import Scheduler
+    from repro.api.session import Session
 
 
 class Database:
@@ -41,6 +58,9 @@ class Database:
         self.model = CostModel(self.clock, profile)
         self.catalog = Catalog()
         self.use_statistics = True
+        #: live sessions attached via :meth:`connect` (repro.api)
+        self.sessions: list["Session"] = []
+        self._scheduler: "Scheduler | None" = None
 
     @property
     def name(self) -> str:
@@ -48,26 +68,104 @@ class Database:
 
     # ------------------------------------------------------------------
     def query(self, sql: str) -> QueryResult:
-        """Parse, plan, and execute one SELECT statement."""
+        """Parse, plan, and execute one statement (SELECT, or EXPLAIN
+        SELECT — which plans without executing)."""
         start = self.clock.checkpoint()
         counters_before = dict(self.clock.counters)
-        select = parse(sql)
+        parsed = parse(sql)
         self.model.query_overhead()
-        self._refresh_tables(select)
-        planned = self._plan(select)
+        if isinstance(parsed, Explain):
+            select = parsed.select
+            self._refresh_tables(select)
+            return explain_result(self._plan(select), self.model, start,
+                                  counters_before)
+        self._refresh_tables(parsed)
+        planned = self._plan(parsed)
         return execute(planned, self.model, start, counters_before)
 
+    def execute(self, sql: str) -> QueryResult:
+        """Deprecated pre-session surface: alias of :meth:`query`.
+
+        New code should use ``repro.connect(engine=...)`` and cursors
+        (prepared statements, parameter binding, streaming fetch); this
+        shim keeps the old call sites working unchanged.
+        """
+        warnings.warn(
+            "Database.execute(sql) is deprecated; use Database.query(sql) "
+            "or the repro.connect() session API",
+            DeprecationWarning, stacklevel=2)
+        return self.query(sql)
+
     def explain(self, sql: str) -> dict:
-        """The physical plan summary for ``sql`` (no execution)."""
-        return self._plan(parse(sql)).describe()
+        """The physical plan summary for ``sql`` (no execution).
+        Accepts either a bare SELECT or an EXPLAIN-prefixed one."""
+        parsed = parse(sql)
+        select = parsed.select if isinstance(parsed, Explain) else parsed
+        return self._plan(select).describe()
+
+    # ------------------------------------------------------------------
+    # Session support (repro.api) — the same parse/plan/refresh pieces
+    # query() uses, exposed separately so prepared statements can cache
+    # their outputs and re-execute with zero parse/plan work.
+    # ------------------------------------------------------------------
+    def connect(self, *, max_in_flight: int | None = None,
+                statement_cache_size: int = 32) -> "Session":
+        """Open a :class:`~repro.api.session.Session` on this engine.
+
+        Sessions attached to one engine share its scheduler, so queries
+        from all of them are admitted against a single max-in-flight
+        gate (``max_in_flight`` is applied when the engine's scheduler
+        is first created)."""
+        from repro.api.session import Session
+
+        return Session(self, max_in_flight=max_in_flight,
+                       statement_cache_size=statement_cache_size)
+
+    def shared_scheduler(self, max_in_flight: int | None = None,
+                         ) -> "Scheduler":
+        """The engine's single admission scheduler (created on first
+        use; later ``max_in_flight`` values are ignored so concurrent
+        sessions cannot silently re-gate each other)."""
+        if self._scheduler is None:
+            from repro.api.scheduler import Scheduler
+
+            self._scheduler = Scheduler(
+                self, max_in_flight=max_in_flight
+                if max_in_flight is not None else 4)
+        return self._scheduler
+
+    def attach_session(self, session: "Session") -> None:
+        self.sessions.append(session)
+
+    def detach_session(self, session: "Session") -> None:
+        if session in self.sessions:
+            self.sessions.remove(session)
+
+    def stream_block_rows(self) -> int:
+        """Rows per block a streaming cursor should expect from this
+        engine (the peak-buffering unit; PostgresRaw overrides with its
+        configured scan block size)."""
+        return DEFAULT_BATCH_ROWS
+
+    def parse_sql(self, sql: str) -> Select | Explain:
+        """Parse one statement (no planning, no catalog access)."""
+        return parse(sql)
+
+    def plan_select(self, select: Select) -> PlannedQuery:
+        """Plan a parsed SELECT against the current catalog/statistics."""
+        return self._plan(select)
+
+    def refresh_for(self, select: Select) -> None:
+        """Per-execution refresh hook: give access methods a chance to
+        notice external file updates (§4.5). Prepared statements call
+        this on every re-execution even though parse/plan are skipped."""
+        self._refresh_tables(select)
 
     def _plan(self, select: Select):
         optimizer = Optimizer(use_stats=self.use_statistics)
         return Planner(self.catalog, self.model, optimizer).plan(select)
 
     def _refresh_tables(self, select: Select) -> None:
-        """Give access methods a chance to notice external file updates
-        (§4.5) before planning."""
         for name in self._tables_of(select):
             if self.catalog.has(name):
                 access = self.catalog.get(name).access

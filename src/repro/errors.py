@@ -83,5 +83,25 @@ class ExecutionError(ReproError):
     """Raised when a query plan fails during execution."""
 
 
+class UnknownColumnError(ReproError, ValueError):
+    """Raised when a result column is looked up by a name it does not
+    have. Carries the requested name and the available columns so the
+    message can point at the fix. Also a :class:`ValueError`, which the
+    bare ``list.index`` used to raise, so existing handlers keep
+    working."""
+
+    def __init__(self, name: str, available: list[str]):
+        listing = ", ".join(available) if available else "(none)"
+        super().__init__(
+            f"unknown column {name!r}; available columns: {listing}")
+        self.name = name
+        self.available = list(available)
+
+
+class BindError(ReproError):
+    """Raised when statement parameters cannot be bound (wrong count,
+    or execution reached an unbound ``?`` placeholder)."""
+
+
 class BudgetError(ReproError):
     """Raised when a component is configured with an unusable budget."""

@@ -15,7 +15,7 @@ from typing import Optional, Union
 Expr = Union[
     "Literal", "ColumnRef", "Star", "BinaryOp", "UnaryOp", "FuncCall",
     "CaseExpr", "LikeExpr", "InList", "Between", "IsNull", "Exists",
-    "IntervalLiteral",
+    "IntervalLiteral", "Parameter",
 ]
 
 AGGREGATE_FUNCTIONS = {"sum", "avg", "min", "max", "count"}
@@ -24,6 +24,38 @@ AGGREGATE_FUNCTIONS = {"sum", "avg", "min", "max", "count"}
 @dataclass(frozen=True)
 class Literal:
     value: object  # int | float | str | datetime.date | bool | None
+
+
+class ParamBinding:
+    """The mutable parameter slots of one parsed statement.
+
+    Every ``?`` placeholder in a statement shares the statement's single
+    binding; :class:`Parameter` nodes compile to closures that read
+    their slot at evaluation time, so a cached physical plan re-binds by
+    mutating this object — no re-parse, no re-plan.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values: tuple | None = None  # None = not bound yet
+
+    def bind(self, values) -> None:
+        self.values = tuple(values)
+
+    def __repr__(self) -> str:  # stable: feeds expr_key via Select repr
+        return "ParamBinding()"
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A ``?`` placeholder; ``index`` is its 0-based position in the
+    statement. The binding is identity-only state (excluded from
+    equality/repr) linking the node to its statement's slots."""
+
+    index: int
+    binding: ParamBinding = field(compare=False, repr=False, hash=False,
+                                  default=None)
 
 
 @dataclass(frozen=True)
@@ -143,3 +175,22 @@ class Select:
     having: Optional[Expr] = None
     order_by: list[OrderItem] = field(default_factory=list)
     limit: Optional[int] = None
+    #: number of ``?`` placeholders and the binding they share (set by
+    #: the parser on the statement's top-level Select).
+    param_count: int = 0
+    binding: Optional[ParamBinding] = None
+
+
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN <select>``: plan the query, emit the plan, run nothing."""
+
+    select: "Select"
+
+    @property
+    def param_count(self) -> int:
+        return self.select.param_count
+
+    @property
+    def binding(self) -> Optional[ParamBinding]:
+        return self.select.binding

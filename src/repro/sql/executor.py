@@ -1,12 +1,34 @@
-"""Plan execution and query results."""
+"""Plan execution and query results.
+
+Two consumption modes share one pipeline. :func:`execute_batches` is
+the streaming core: it pulls :class:`~repro.sql.batch.ColumnBatch`
+blocks from the plan root (real columnar blocks when the subtree
+supports them, transposed rows otherwise) — cursors in
+:mod:`repro.api` hold this iterator live and materialize only what
+``fetchmany`` asks for. :func:`execute` is the eager convenience built
+on top: it drains the stream into a :class:`QueryResult`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
+from repro.errors import UnknownColumnError
 from repro.simcost.model import CostModel
-from repro.sql.batch import batches_to_rows
+from repro.sql.batch import ColumnBatch, batches_to_rows
 from repro.sql.planner import PlannedQuery
+
+
+def column_index(name: str, columns: list[str]) -> int:
+    """Position of ``name`` in a result's column list; raises
+    :class:`UnknownColumnError` naming the column and what is
+    available. Shared by :meth:`QueryResult.column` and the cursor
+    ``description`` path in :mod:`repro.api`."""
+    try:
+        return columns.index(name)
+    except ValueError:
+        raise UnknownColumnError(name, columns) from None
 
 
 @dataclass
@@ -33,7 +55,7 @@ class QueryResult:
 
     def column(self, name: str) -> list:
         """All values of one result column."""
-        index = self.columns.index(name)
+        index = column_index(name, self.columns)
         return [row[index] for row in self.rows]
 
     def scalar(self):
@@ -48,6 +70,29 @@ class QueryResult:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
 
+def execute_batches(planned: PlannedQuery) -> Iterator[ColumnBatch]:
+    """The streaming execution core: pull the plan root block-at-a-time.
+
+    Plans whose root produces real columnar batches (a batch-capable
+    scan under filter/project operators — see ``PlanOp.supports_batches``)
+    stream those blocks straight through; everything else streams the
+    classic row iterator transposed into batches by the operator-level
+    default. Either way nothing is materialized beyond the block in
+    flight, so a cursor can fetch incrementally from an arbitrarily
+    large scan."""
+    return planned.root.batches()
+
+
+def counters_delta(counters_after, counters_before: dict) -> dict:
+    """Per-event difference of two counter snapshots (by event value),
+    keeping only events that moved."""
+    return {
+        event.value: counters_after[event] - counters_before.get(event, 0)
+        for event in counters_after
+        if counters_after[event] != counters_before.get(event, 0)
+    }
+
+
 def execute(planned: PlannedQuery, model: CostModel,
             start: float | None = None,
             counters_before: dict | None = None) -> QueryResult:
@@ -55,25 +100,63 @@ def execute(planned: PlannedQuery, model: CostModel,
     clock. ``start``/``counters_before`` let the caller include
     parse/plan overhead in the reported elapsed time.
 
-    Plans whose root produces real columnar batches (a batch-capable
-    scan under filter/project operators — see ``PlanOp.supports_batches``)
-    are pulled block-at-a-time and materialized from whole batches;
-    everything else uses the classic row iterator."""
+    This is the eager convenience over :func:`execute_batches`: the
+    whole stream is drained into one materialized result."""
     if start is None:
         start = model.clock.checkpoint()
     if counters_before is None:
         counters_before = dict(model.clock.counters)
-    root = planned.root
-    if getattr(root, "supports_batches", False):
-        rows = list(batches_to_rows(root.batches()))
-    else:
-        rows = list(root.rows())
+    rows = list(batches_to_rows(execute_batches(planned)))
     elapsed = model.clock.elapsed_since(start)
-    counters_after = model.clock.counters
-    delta = {
-        event.value: counters_after[event] - counters_before.get(event, 0)
-        for event in counters_after
-        if counters_after[event] != counters_before.get(event, 0)
-    }
+    delta = counters_delta(model.clock.counters, counters_before)
     return QueryResult(columns=planned.names, rows=rows, elapsed=elapsed,
                        counters=delta, plan=planned.describe())
+
+
+#: plan-dict keys holding child plans, in render order
+_PLAN_CHILD_KEYS = ("input", "left", "right", "outer", "inner")
+
+
+def render_plan(plan: dict) -> list[str]:
+    """Flatten a ``describe()`` plan dict into indented text lines —
+    the rows of an ``EXPLAIN`` result."""
+    lines: list[str] = []
+
+    def walk(node: dict, depth: int) -> None:
+        attrs = ", ".join(f"{key}={value!r}" for key, value in node.items()
+                          if key != "op" and key not in _PLAN_CHILD_KEYS)
+        prefix = "  " * depth + ("-> " if depth else "")
+        lines.append(f"{prefix}{node['op']}" + (f" ({attrs})" if attrs
+                                                else ""))
+        for key in _PLAN_CHILD_KEYS:
+            child = node.get(key)
+            if isinstance(child, dict):
+                walk(child, depth + 1)
+
+    walk(plan, 0)
+    return lines
+
+
+def explain_rows(plan: dict) -> tuple[list[str], list[tuple]]:
+    """The result shape of ``EXPLAIN``: column names + one text row per
+    plan node. Single source for both the legacy ``Database.query``
+    path and the session/cursor path."""
+    return ["QUERY PLAN"], [(line,) for line in render_plan(plan)]
+
+
+def explain_result(planned: PlannedQuery, model: CostModel,
+                   start: float | None = None,
+                   counters_before: dict | None = None) -> QueryResult:
+    """The result of ``EXPLAIN <select>``: one text row per plan node
+    (the summary the executor normally records in ``QueryResult.plan``),
+    with the plan dict itself still attached as ``plan``."""
+    if start is None:
+        start = model.clock.checkpoint()
+    if counters_before is None:
+        counters_before = dict(model.clock.counters)
+    plan = planned.describe()
+    elapsed = model.clock.elapsed_since(start)
+    delta = counters_delta(model.clock.counters, counters_before)
+    columns, rows = explain_rows(plan)
+    return QueryResult(columns=columns, rows=rows, elapsed=elapsed,
+                       counters=delta, plan=plan)

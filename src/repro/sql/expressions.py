@@ -18,7 +18,7 @@ import datetime
 import re
 from typing import Callable, Iterable, Optional
 
-from repro.errors import ExecutionError, PlanningError
+from repro.errors import BindError, ExecutionError, PlanningError
 from repro.sql.ast_nodes import (
     AGGREGATE_FUNCTIONS,
     Between,
@@ -33,6 +33,7 @@ from repro.sql.ast_nodes import (
     IsNull,
     LikeExpr,
     Literal,
+    Parameter,
     Star,
     UnaryOp,
 )
@@ -95,6 +96,17 @@ def collect_aggregates(expr: Expr | None) -> list[FuncCall]:
 
 def contains_aggregate(expr: Expr | None) -> bool:
     return bool(collect_aggregates(expr))
+
+
+def contains_parameter(expr: Expr | None) -> bool:
+    """Whether ``expr`` holds any ``?`` placeholder (its value is only
+    known at execution time, never at plan time)."""
+    def walk(node) -> bool:
+        if isinstance(node, Parameter):
+            return True
+        return any(walk(child) for child in _children(node))
+
+    return expr is not None and walk(expr)
 
 
 def _children(node) -> Iterable:
@@ -214,6 +226,18 @@ def compile_expr(expr: Expr, resolver: Resolver) -> Callable:
     if isinstance(expr, Literal):
         value = expr.value
         return lambda row: value
+    if isinstance(expr, Parameter):
+        binding = expr.binding
+        index = expr.index
+
+        def _param(row):
+            values = binding.values if binding is not None else None
+            if values is None or index >= len(values):
+                raise BindError(
+                    f"parameter {index + 1} is not bound (execute the "
+                    "statement with a parameter sequence)")
+            return values[index]
+        return _param
     if isinstance(expr, IntervalLiteral):
         interval = _interval_value(expr)
         return lambda row: interval

@@ -12,7 +12,7 @@ KEYWORDS = {
     "and", "or", "not", "as", "asc", "desc", "between", "in", "like",
     "is", "null", "exists", "case", "when", "then", "else", "end",
     "date", "interval", "day", "month", "year", "true", "false",
-    "join", "inner", "on", "distinct",
+    "join", "inner", "on", "distinct", "explain",
 }
 
 
@@ -40,7 +40,7 @@ class Token:
 
 
 _OPERATORS = ("<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "||")
-_PUNCT = "(),.;"
+_PUNCT = "(),.;?"
 
 
 def tokenize(sql: str) -> list[Token]:

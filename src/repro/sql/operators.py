@@ -157,6 +157,42 @@ class FilterOp(PlanOp):
                 "input": self.child.describe()}
 
 
+class GateOp(PlanOp):
+    """A row-independent predicate evaluated once per execution.
+
+    Used for constant conjuncts whose value is only known at run time
+    (``?`` placeholders): if the predicate is not TRUE the child is
+    never pulled at all — the per-execution analogue of the planner's
+    plan-time constant folding."""
+
+    def __init__(self, model: CostModel, child: PlanOp,
+                 predicate_fn: Callable, n_terms: int = 1):
+        super().__init__(model, child.layout)
+        self.child = child
+        self.predicate_fn = predicate_fn
+        self.n_terms = n_terms
+
+    def _open(self) -> bool:
+        self.model.predicate(self.n_terms)
+        return self.predicate_fn(()) is True
+
+    def rows(self) -> Iterator[tuple]:
+        if self._open():
+            yield from self.child.rows()
+
+    @property
+    def supports_batches(self) -> bool:
+        return self.child.supports_batches
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        if self._open():
+            yield from self.child.batches()
+
+    def describe(self) -> dict:
+        return {"op": "Gate", "terms": self.n_terms,
+                "input": self.child.describe()}
+
+
 class ProjectOp(PlanOp):
     """Computes output expressions; owns the result column names."""
 
@@ -481,6 +517,11 @@ class LimitOp(PlanOp):
         return self.child.supports_batches
 
     def batches(self) -> Iterator[ColumnBatch]:
+        if not self.child.supports_batches:
+            # A transposing child would pull whole blocks past the
+            # limit; the row path stops the moment the quota is met.
+            yield from super().batches()
+            return
         remaining = self.limit
         if remaining <= 0:
             return

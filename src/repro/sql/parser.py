@@ -9,6 +9,7 @@ from repro.sql.ast_nodes import (
     CaseExpr,
     ColumnRef,
     Exists,
+    Explain,
     Expr,
     FuncCall,
     InList,
@@ -17,6 +18,8 @@ from repro.sql.ast_nodes import (
     LikeExpr,
     Literal,
     OrderItem,
+    ParamBinding,
+    Parameter,
     Select,
     SelectItem,
     Star,
@@ -30,8 +33,11 @@ _COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
 _INTERVAL_UNITS = {"day", "month", "year"}
 
 
-def parse(sql: str) -> Select:
-    """Parse one SELECT statement (trailing ``;`` allowed)."""
+def parse(sql: str) -> Select | Explain:
+    """Parse one statement: ``SELECT ...`` or ``EXPLAIN SELECT ...``
+    (trailing ``;`` allowed). ``?`` placeholders become
+    :class:`~repro.sql.ast_nodes.Parameter` nodes sharing the
+    statement's :class:`~repro.sql.ast_nodes.ParamBinding`."""
     return _Parser(tokenize(sql)).parse_statement()
 
 
@@ -47,6 +53,8 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        self._binding = ParamBinding()
+        self._param_count = 0
 
     # -- token plumbing -----------------------------------------------------
     def peek(self, ahead: int = 0) -> Token:
@@ -96,10 +104,13 @@ class _Parser:
                              token)
 
     # -- statement ---------------------------------------------------------
-    def parse_statement(self) -> Select:
+    def parse_statement(self) -> Select | Explain:
+        explain = bool(self.accept_keyword("explain"))
         select = self.parse_select()
         self.expect_eof()
-        return select
+        select.param_count = self._param_count
+        select.binding = self._binding
+        return Explain(select) if explain else select
 
     def parse_select(self) -> Select:
         self.expect_keyword("select")
@@ -309,6 +320,11 @@ class _Parser:
             return Exists(subquery)
         if token.is_keyword("case"):
             return self._parse_case()
+        if token.type == TokenType.PUNCT and token.value == "?":
+            self.advance()
+            param = Parameter(self._param_count, self._binding)
+            self._param_count += 1
+            return param
         if token.type == TokenType.PUNCT and token.value == "(":
             self.advance()
             expr = self.parse_expr()

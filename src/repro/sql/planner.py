@@ -42,12 +42,14 @@ from repro.sql.expressions import (
     collect_column_refs,
     compile_expr,
     conjoin,
+    contains_parameter,
     expr_key,
     split_conjuncts,
 )
 from repro.sql.operators import (
     AggSpec,
     FilterOp,
+    GateOp,
     HashAggregateOp,
     HashJoinOp,
     HashSemiJoinOp,
@@ -233,10 +235,22 @@ class Planner:
             bindings, pushed, join_edges, residual, needed)
 
         if const_conjuncts:
-            value_fns = [compile_expr(c, lambda node: None)
-                         for c in const_conjuncts]
-            if not all(fn(()) is True for fn in value_fns):
-                relation = LimitOp(self.model, relation, 0)
+            # Conjuncts holding ? placeholders cannot be folded at plan
+            # time (prepared statements plan once, bind many times);
+            # they become a gate evaluated once per execution.
+            static = [c for c in const_conjuncts
+                      if not contains_parameter(c)]
+            dynamic = [c for c in const_conjuncts if contains_parameter(c)]
+            if static:
+                value_fns = [compile_expr(c, lambda node: None)
+                             for c in static]
+                if not all(fn(()) is True for fn in value_fns):
+                    relation = LimitOp(self.model, relation, 0)
+            if dynamic:
+                relation = GateOp(
+                    self.model, relation,
+                    compile_expr(conjoin(dynamic), lambda node: None),
+                    n_terms=len(dynamic))
 
         for exists_expr, _outer_refs in semijoins:
             relation = self._plan_semijoin(relation, exists_expr, scope)

@@ -1,0 +1,242 @@
+"""Concurrent sessions over one shared engine.
+
+Covers the scheduler contract (FIFO admission, max-in-flight gate,
+cooperative batch-boundary interleaving, per-query accounting) and the
+differential satellite: two cursors streaming from the same raw CSV
+table, interleaved at batch boundaries, must leave the positional map
+and binary cache identical to a serial run (structure dumps reused
+from the PR 1 differential harness).
+
+"Identical" for the positional map means *content*-identical under the
+canonicalization below: every line start, the file length, the spill
+set, and every (row-block, attribute) position the map can answer.
+The vertical chunk *grouping* is excluded — it records which query's
+flush first grouped the attributes, so it is a layout artifact of
+workload interleaving order, not of what the map knows (the paper's
+map is explicitly workload-shaped, §4.2). The binary cache must match
+byte-for-byte."""
+
+import random
+
+import pytest
+
+import repro
+from repro import PostgresRaw, PostgresRawConfig, VirtualFS
+from repro.workloads.micro import generate_micro_csv
+
+from test_batch_differential import (
+    build_engines,
+    cache_dump,
+    normalized,
+    pm_dump,
+    random_query,
+    random_schema,
+    random_table,
+)
+
+
+def canonical_pm(pm):
+    """The map's queryable content, independent of chunk grouping."""
+    if pm is None:
+        return None
+    dump = pm_dump(pm)
+    positions = {}
+    for block, entries in dump["directory"].items():
+        for attr, (chunk_key, col) in entries.items():
+            matrix = dump["chunks"].get(chunk_key)
+            if matrix is not None:
+                positions[(block, attr)] = [line[col] for line in matrix]
+    return {"line_starts": dump["line_starts"],
+            "file_length": dump["file_length"],
+            "spilled": dump["spilled"],
+            "positions": positions}
+
+
+def assert_content_match(engine_a, engine_b, table="t"):
+    assert canonical_pm(engine_a.positional_map_of(table)) == \
+        canonical_pm(engine_b.positional_map_of(table))
+    assert cache_dump(engine_a.cache_of(table)) == \
+        cache_dump(engine_b.cache_of(table))
+
+
+def micro_engine(rows=600, block=64, **config_kwargs):
+    vfs = VirtualFS()
+    schema = generate_micro_csv(vfs, "m.csv", rows=rows, nattrs=8, seed=3)
+    engine = PostgresRaw(
+        config=PostgresRawConfig(row_block_size=block, **config_kwargs),
+        vfs=vfs)
+    engine.register_csv("m", "m.csv", schema)
+    return engine
+
+
+class TestScheduler:
+    def test_fifo_admission_with_gate(self):
+        engine = micro_engine()
+        s1 = repro.connect(engine=engine, max_in_flight=1)
+        s2 = repro.connect(engine=engine)
+        scheduler = engine.shared_scheduler()
+        assert s1.scheduler is s2.scheduler is scheduler
+        assert scheduler.max_in_flight == 1
+
+        c1 = s1.execute("SELECT a1 FROM m")
+        assert c1.fetchone() is not None
+        assert scheduler.in_flight == 1
+        c2 = s2.execute("SELECT a2 FROM m")
+        assert scheduler.queued == 1  # gate full: c2 waits
+
+        # Fetching the queued query drives the in-flight one to
+        # completion, frees the slot, then admits FIFO.
+        rows2 = c2.fetchall()
+        assert len(rows2) == 600
+        assert scheduler.queued == 0
+        # c1 completed while being driven; its rows are all buffered.
+        assert len(c1.fetchall()) == 599  # one was fetched above
+        assert scheduler.in_flight == 0
+
+    def test_interleaved_cursors_share_gate(self):
+        engine = micro_engine()
+        s1 = repro.connect(engine=engine, max_in_flight=2)
+        s2 = repro.connect(engine=engine)
+        c1 = s1.execute("SELECT a1 FROM m WHERE a1 > 0")
+        c2 = s2.execute("SELECT a2 FROM m")
+        out1, out2 = [], []
+        while True:
+            chunk1 = c1.fetchmany(50)
+            chunk2 = c2.fetchmany(50)
+            out1.extend(chunk1)
+            out2.extend(chunk2)
+            if not chunk1 and not chunk2:
+                break
+        fresh = micro_engine()
+        assert out1 == fresh.query("SELECT a1 FROM m WHERE a1 > 0").rows
+        assert out2 == fresh.query("SELECT a2 FROM m").rows
+
+    def test_per_query_accounting_is_disjoint(self):
+        engine = micro_engine(rows=400)
+        session = repro.connect(engine=engine)
+        c1 = session.execute("SELECT a1 FROM m")
+        c2 = session.execute("SELECT a1 FROM m")
+        # Interleave to completion.
+        while c1.fetchmany(64) or c2.fetchmany(64):
+            pass
+        counters1 = c1.counters()
+        counters2 = c2.counters()
+        engine_total = engine.counters()
+        for event in set(counters1) | set(counters2):
+            assert (counters1.get(event, 0) + counters2.get(event, 0)
+                    <= engine_total.get(event, 0) + 1e-9), event
+        assert c1.elapsed() > 0 and c2.elapsed() > 0
+        assert session.elapsed() <= engine.elapsed() + 1e-9
+
+    def test_scheduler_rejects_bad_gate(self):
+        engine = micro_engine()
+        with pytest.raises(ValueError):
+            engine.shared_scheduler(max_in_flight=0)
+
+    def test_queued_job_can_be_cancelled(self):
+        engine = micro_engine()
+        s = repro.connect(engine=engine, max_in_flight=1)
+        c1 = s.execute("SELECT a1 FROM m")
+        c1.fetchone()
+        c2 = s.execute("SELECT a2 FROM m")
+        assert s.scheduler.queued == 1
+        c2.close()
+        assert s.scheduler.queued == 0
+        assert len(c1.fetchall()) == 599
+
+
+def serial_vs_interleaved(block_size, enable_cache=True,
+                          enable_positional_map=True):
+    """Run the same two queries serially and interleaved on identical
+    engines; return both engines for structure comparison."""
+    kwargs = dict(enable_cache=enable_cache,
+                  enable_positional_map=enable_positional_map)
+    q1 = "SELECT a1, a3 FROM m WHERE a2 < 600000000"
+    q2 = "SELECT a2, a4 FROM m"
+
+    serial = micro_engine(block=block_size, **kwargs)
+    serial_s = repro.connect(engine=serial)
+    rows1_serial = serial_s.query(q1).rows
+    rows2_serial = serial_s.query(q2).rows
+
+    inter = micro_engine(block=block_size, **kwargs)
+    inter_s = repro.connect(engine=inter, max_in_flight=4)
+    c1 = inter_s.execute(q1)
+    c2 = inter_s.execute(q2)
+    rows1, rows2 = [], []
+    while True:  # strict batch-boundary interleave
+        chunk1 = c1.fetchmany(block_size)
+        chunk2 = c2.fetchmany(block_size)
+        rows1.extend(chunk1)
+        rows2.extend(chunk2)
+        if not chunk1 and not chunk2:
+            break
+    assert rows1 == rows1_serial
+    assert rows2 == rows2_serial
+    return serial, inter
+
+
+class TestConcurrentDifferential:
+    @pytest.mark.parametrize("block_size", [16, 64, 128])
+    def test_structures_identical_to_serial(self, block_size):
+        serial, inter = serial_vs_interleaved(block_size)
+        assert_content_match(inter, serial, table="m")
+
+    def test_structures_identical_without_cache(self):
+        serial, inter = serial_vs_interleaved(64, enable_cache=False)
+        assert canonical_pm(inter.positional_map_of("m")) == \
+            canonical_pm(serial.positional_map_of("m"))
+
+    def test_structures_identical_without_pm(self):
+        serial, inter = serial_vs_interleaved(
+            64, enable_positional_map=False)
+        assert cache_dump(inter.cache_of("m")) == \
+            cache_dump(serial.cache_of("m"))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_workloads_interleaved_match_scalar_oracle(self, seed):
+        """Extend the PR 1 differential harness: the batch engine's
+        results fetched through interleaved streaming cursors must
+        still match the scalar oracle and the loaded engine. Structure
+        contract under interleaving follows the PR 1 partial-scan
+        precedent: mid-workload the batch and scalar engines' scans sit
+        at different file offsets (different flush granularity), so
+        their maps may transiently differ — but after a completed
+        full-coverage scan both engines must converge to identical
+        content."""
+        rng = random.Random(31000 + seed)
+        schema = random_schema(rng)
+        rows = random_table(rng, schema)
+        block_size = rng.choice([1, 3, 8, 17, 64])
+        raw_batch, raw_scalar, loaded = build_engines(schema, rows,
+                                                      block_size)
+        batch_s = repro.connect(engine=raw_batch)
+        scalar_s = repro.connect(engine=raw_scalar)
+        for _ in range(4):
+            sql_a = random_query(rng, schema)
+            sql_b = random_query(rng, schema)
+            cur_ab = batch_s.execute(sql_a)
+            cur_bb = batch_s.execute(sql_b)
+            cur_as = scalar_s.execute(sql_a)
+            cur_bs = scalar_s.execute(sql_b)
+            got = {cur: [] for cur in (cur_ab, cur_bb, cur_as, cur_bs)}
+            live = True
+            while live:
+                live = False
+                for cur in got:
+                    chunk = cur.fetchmany(7)
+                    got[cur].extend(chunk)
+                    live = live or bool(chunk)
+            for sql, cur_b, cur_s in ((sql_a, cur_ab, cur_as),
+                                      (sql_b, cur_bb, cur_bs)):
+                reference = normalized(loaded.query(sql))
+                assert sorted(map(repr, got[cur_b])) == reference, sql
+                assert sorted(map(repr, got[cur_s])) == reference, sql
+        # Convergence: one serial full-coverage scan on each engine
+        # must leave identical map content and byte-identical caches.
+        columns = ", ".join(c.name for c in schema.columns)
+        convergence = f"SELECT {columns} FROM t"
+        assert normalized(raw_batch.query(convergence)) == \
+            normalized(raw_scalar.query(convergence)) == \
+            normalized(loaded.query(convergence))
+        assert_content_match(raw_batch, raw_scalar)
