@@ -11,7 +11,7 @@ assertion uses 2x to stay robust on slow CI machines.
 
 import time
 
-from figshared import header, table
+from figshared import build_tpch, header, table, tpch_raw
 
 from repro import PostgresRaw, PostgresRawConfig, VirtualFS
 from repro.workloads.micro import generate_micro_csv, micro_schema
@@ -106,3 +106,71 @@ def test_batch_and_scalar_same_virtual_time_shape(benchmark):
     table(["counter", "scalar", "batch"], rows)
 
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# TPC-H Q1-style aggregate sweep (PR 3): the columnar operator tree
+# ---------------------------------------------------------------------------
+_Q1_CUTOFFS = ("1995-06-17", "1997-06-17", "1998-12-01")  # selectivity sweep
+
+
+def _q1_sql(cutoff: str) -> str:
+    return f"""
+        SELECT l_returnflag, l_linestatus,
+               sum(l_quantity), sum(l_extendedprice),
+               sum(l_extendedprice * (1 - l_discount)),
+               avg(l_quantity), avg(l_discount), count(*)
+        FROM lineitem
+        WHERE l_shipdate <= DATE '{cutoff}'
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """
+
+
+def test_q1_aggregate_sweep_smoke(benchmark):
+    """Vectorized GROUP BY aggregation vs the scalar operator path,
+    wall-clock, on TPC-H Q1 shapes across a shipdate-selectivity sweep.
+    Batch mode must (a) return identical rows, (b) keep the whole plan
+    columnar (``rows_materialized == 0``), and (c) beat the scalar
+    path's wall clock once structures are warm — the tripwire for
+    operator-level regressions."""
+    engines = {}
+    for mode, batch in (("batch", True), ("scalar", False)):
+        vfs, data = build_tpch(scale_factor=0.002)
+        engines[mode] = tpch_raw(vfs, data, PostgresRawConfig(
+            batch_mode=batch, enable_statistics=False))
+
+    rows = []
+    warm_batch_total = warm_scalar_total = 0.0
+    for cutoff in _Q1_CUTOFFS:
+        sql = _q1_sql(cutoff)
+        timings = {}
+        for mode, engine in engines.items():
+            start = time.perf_counter()
+            cold = engine.query(sql)
+            cold_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = engine.query(sql)
+            warm_seconds = time.perf_counter() - start
+            timings[mode] = (cold_seconds, warm_seconds, cold, warm)
+        b_cold, b_warm, b_res, b_res_warm = timings["batch"]
+        s_cold, s_warm, s_res, _ = timings["scalar"]
+        assert b_res.rows == s_res.rows, cutoff
+        assert b_res.rows_materialized == 0, cutoff
+        assert b_res_warm.rows_materialized == 0, cutoff
+        warm_batch_total += b_warm
+        warm_scalar_total += s_warm
+        rows.append([f"shipdate <= {cutoff}", s_warm * 1e3, b_warm * 1e3,
+                     s_warm / b_warm])
+
+    header("TPC-H Q1-style aggregate sweep (wall clock, warm)",
+           "vectorized grouped accumulation vs per-row accumulators")
+    table(["query", "scalar ms", "batch ms", "speedup"], rows)
+
+    speedup = warm_scalar_total / warm_batch_total
+    assert speedup >= 1.3, (
+        f"warm Q1 batch speedup {speedup:.2f}x below the 1.3x bar")
+
+    benchmark.pedantic(
+        lambda: engines["batch"].query(_q1_sql(_Q1_CUTOFFS[-1])),
+        rounds=3, iterations=1)

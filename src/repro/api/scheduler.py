@@ -44,7 +44,8 @@ class QueryJob:
 
     __slots__ = ("session", "sql", "planned", "names", "plan", "statement",
                  "state", "buffer", "counters", "elapsed", "rows_produced",
-                 "rows_fetched", "peak_buffered", "error", "_iterator")
+                 "rows_fetched", "peak_buffered", "rows_materialized",
+                 "error", "_iterator")
 
     def __init__(self, session: "Session", sql: str,
                  planned: "PlannedQuery | None",
@@ -67,6 +68,7 @@ class QueryJob:
         self.rows_produced = 0
         self.rows_fetched = 0
         self.peak_buffered = 0
+        self.rows_materialized = 0
         self.error: Optional[BaseException] = None
         self._iterator: Optional[Iterator[ColumnBatch]] = None
 
@@ -101,7 +103,8 @@ class QueryJob:
     def to_result(self, rows: list[tuple]) -> QueryResult:
         return QueryResult(columns=list(self.names), rows=rows,
                            elapsed=self.elapsed, counters=dict(self.counters),
-                           plan=self.plan)
+                           plan=self.plan,
+                           rows_materialized=self.rows_materialized)
 
 
 class Scheduler:
@@ -181,8 +184,10 @@ class Scheduler:
         (raised to *its* cursor at fetch time), never propagated to
         whichever client happened to be driving the scheduler."""
         clock = self.engine.clock
+        model = self.engine.model
         before_seconds = clock.checkpoint()
         before_counters = dict(clock.counters)
+        before_materialized = model.rows_materialized
         batch = None
         exhausted = False
         error: Optional[BaseException] = None
@@ -195,6 +200,8 @@ class Scheduler:
         finally:
             job.charge(clock.elapsed_since(before_seconds),
                        counters_delta(clock.counters, before_counters))
+            job.rows_materialized += (model.rows_materialized
+                                      - before_materialized)
         if error is not None:
             self._settle(job, "failed", error)
             return

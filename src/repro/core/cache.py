@@ -1,4 +1,4 @@
-"""The PostgresRaw binary cache (§4.3).
+"""The PostgresRaw binary cache (§4.3) with typed block storage.
 
 Holds previously converted (binary) values so future queries can skip
 both raw-file access and data-type conversion. Organized like the
@@ -8,6 +8,19 @@ integrate it in the PostgresRaw query flow". Blocks may be *partial*
 selective parsing converts only qualifying tuples, and the cache keeps a
 validity mask per block.
 
+Fixed-width families store their values as dtype-tagged NumPy arrays —
+``int64`` ints, ``float64`` floats, ``bool`` booleans, and ``int32``
+*day numbers* for dates — with a separate NULL submask (a cached NULL
+is distinct from an uncached hole). Warm batch scans read these arrays
+straight into the vectorizer with no list round-trip; the date
+comparison terms understand day numbers natively. Variable-width
+strings keep Python list storage.
+
+Byte-footprint accounting is honest: a typed block costs what its
+backing array allocates (``arr.nbytes``, charged at creation/growth,
+independent of how many rows are filled); string blocks cost ``len +
+1`` per cached value as before.
+
 Eviction is LRU with **conversion-cost priority**: "the PostgresRaw
 cache always gives priority to attributes more costly to convert", so
 cheap-to-reconvert families (strings) are evicted before expensive ones
@@ -16,56 +29,212 @@ cheap-to-reconvert families (strings) are evicted before expensive ones
 
 from __future__ import annotations
 
+import datetime
 from collections import OrderedDict
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import StorageError
 from repro.simcost.model import CostModel
 
-#: Per-value byte footprint by type family (strings measured per value).
-_FIXED_BYTES = {"int": 8, "float": 8, "date": 4, "bool": 1}
+#: NumPy storage dtype per fixed-width family (dates as ordinal days).
+_TYPED_DTYPES = {
+    "int": np.int64,
+    "float": np.float64,
+    "date": np.int32,
+    "bool": np.bool_,
+}
 
 
 def _value_bytes(family: str, value) -> int:
-    if family in _FIXED_BYTES:
-        return _FIXED_BYTES[family]
+    """Per-value footprint of variable-width (list-stored) families."""
     return len(value) + 1 if isinstance(value, str) else 8
 
 
-@dataclass
-class CacheBlock:
-    """Converted values of one attribute over one row block."""
+def _encode(family: str, value):
+    if family == "date" and isinstance(value, datetime.date):
+        return value.toordinal()
+    return value
 
-    family: str
-    values: list = field(default_factory=list)
-    mask: bytearray = field(default_factory=bytearray)
-    bytes_used: int = 0
+
+def _decode(family: str, value):
+    if family == "date":
+        return datetime.date.fromordinal(int(value))
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+class CacheBlock:
+    """Converted values of one attribute over one row block.
+
+    ``mask`` marks *cached* rows; for typed families ``nulls`` marks
+    the cached rows whose value is SQL NULL (the array slot holds
+    garbage there). List-stored families keep ``None`` in-band.
+    """
+
+    __slots__ = ("family", "_data", "_mask", "_nulls", "bytes_used")
+
+    def __init__(self, family: str, values=None, mask=None):
+        self.family = family
+        nrows = len(values) if values is not None else 0
+        dtype = _TYPED_DTYPES.get(family)
+        if dtype is not None:
+            self._data = np.zeros(nrows, dtype=dtype)
+            self._nulls = np.zeros(nrows, dtype=bool)
+            self.bytes_used = self._data.nbytes
+        else:
+            self._data = [None] * nrows
+            self._nulls = None
+            self.bytes_used = 0
+        self._mask = np.zeros(nrows, dtype=bool)
+        if mask is not None:
+            m = min(len(mask), nrows)
+            self._mask[:m] = np.frombuffer(bytes(mask[:m]),
+                                           dtype=np.uint8).astype(bool) \
+                if isinstance(mask, (bytes, bytearray)) \
+                else np.asarray(mask[:m], dtype=bool)
+        if values is not None:
+            for row in np.flatnonzero(self._mask).tolist():
+                self._set(row, values[row])
+
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return len(self._mask)
+
+    @property
+    def mask(self) -> np.ndarray:
+        return self._mask
 
     @property
     def complete(self) -> bool:
-        return bool(self.mask) and all(self.mask)
+        return len(self._mask) > 0 and bool(self._mask.all())
 
     @property
     def filled(self) -> int:
-        return sum(self.mask)
+        return int(self._mask.sum())
+
+    @property
+    def values(self) -> list:
+        """The block as a plain Python list (``None`` where uncached or
+        NULL) — the structural-dump / straggler-consumer view."""
+        if isinstance(self._data, list):
+            return list(self._data)
+        out: list = [None] * len(self._mask)
+        present = self._mask if self._nulls is None \
+            else (self._mask & ~self._nulls)
+        rows = np.flatnonzero(present)
+        if len(rows):
+            family = self.family
+            raw = self._data[rows]
+            if family == "date":
+                decoded = [datetime.date.fromordinal(v)
+                           for v in raw.tolist()]
+            else:
+                decoded = raw.tolist()
+            for row, value in zip(rows.tolist(), decoded):
+                out[row] = value
+        return out
+
+    def values_at(self, rows: np.ndarray) -> list:
+        """The cached values at ``rows`` as Python objects (None where
+        uncached or NULL) — decodes only the requested subset, unlike
+        the whole-block :attr:`values` view."""
+        row_list = rows.tolist() if isinstance(rows, np.ndarray) else rows
+        if isinstance(self._data, list):
+            return [self._data[i] for i in row_list]
+        mask = self._mask
+        nulls = self._nulls
+        raw = self._data[row_list].tolist()
+        family = self.family
+        out = []
+        for i, value in zip(row_list, raw):
+            if not mask[i] or (nulls is not None and nulls[i]):
+                out.append(None)
+            elif family == "date":
+                out.append(datetime.date.fromordinal(value))
+            else:
+                out.append(value)
+        return out
+
+    def typed_data(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(data, nulls)`` arrays for typed families (None for list
+        storage). ``data`` holds garbage at uncached/NULL rows; dates
+        are ordinal day numbers — the form the vectorizer's date terms
+        compare against directly."""
+        if isinstance(self._data, list):
+            return None
+        nulls = self._nulls if self._nulls is not None \
+            else np.zeros(len(self._mask), dtype=bool)
+        return self._data, nulls
 
     def get(self, row_in_block: int):
         """``(present, value)`` for a row — present=False means a miss."""
-        if row_in_block < len(self.mask) and self.mask[row_in_block]:
-            return True, self.values[row_in_block]
+        if row_in_block < len(self._mask) and self._mask[row_in_block]:
+            if isinstance(self._data, list):
+                return True, self._data[row_in_block]
+            if self._nulls is not None and self._nulls[row_in_block]:
+                return True, None
+            return True, _decode(self.family, self._data[row_in_block])
         return False, None
 
     def mask_array(self, nrows: int) -> np.ndarray:
         """The validity mask as a boolean array padded/truncated to
         ``nrows`` — the batch scan's whole-block presence test."""
-        mask = np.frombuffer(bytes(self.mask), dtype=np.uint8).astype(bool)
+        mask = self._mask
         if len(mask) >= nrows:
-            return mask[:nrows]
+            return mask[:nrows].copy()
         out = np.zeros(nrows, dtype=bool)
         out[:len(mask)] = mask
         return out
+
+    # ------------------------------------------------------------------
+    def _set(self, row: int, value) -> None:
+        """Store one value (no merge check, no byte accounting)."""
+        self._mask[row] = True
+        if isinstance(self._data, list):
+            self._data[row] = value
+            return
+        if value is None:
+            self._nulls[row] = True
+            return
+        self._nulls[row] = False
+        try:
+            self._data[row] = _encode(self.family, value)
+        except (OverflowError, ValueError):
+            # A value the typed dtype cannot hold (e.g. an int beyond
+            # int64 — the scan's Python parse fallback produces them):
+            # demote this block to object-list storage. The block keeps
+            # its allocation-based byte estimate; correctness over
+            # footprint precision for this rare shape.
+            self._demote()
+            self._data[row] = value
+
+    def _demote(self) -> None:
+        """Switch from typed-array to object-list storage in place."""
+        self._data = self.values
+        self._nulls = None
+
+    def _grow(self, nrows: int) -> int:
+        """Widen to ``nrows`` rows (file append, §4.5); returns the
+        byte-footprint delta."""
+        grow = nrows - len(self._mask)
+        if grow <= 0:
+            return 0
+        self._mask = np.concatenate(
+            [self._mask, np.zeros(grow, dtype=bool)])
+        if isinstance(self._data, list):
+            self._data.extend([None] * grow)
+            return 0
+        before = self._data.nbytes
+        self._data = np.concatenate(
+            [self._data, np.zeros(grow, dtype=self._data.dtype)])
+        self._nulls = np.concatenate(
+            [self._nulls, np.zeros(grow, dtype=bool)])
+        delta = self._data.nbytes - before
+        self.bytes_used += delta
+        return delta
 
 
 class BinaryCache:
@@ -95,6 +264,19 @@ class BinaryCache:
         self._blocks.move_to_end((attr, block))
         return cache_block
 
+    def _block_for(self, attr: int, block: int, rows_in_block: int,
+                   family: str) -> CacheBlock:
+        key = (attr, block)
+        cache_block = self._blocks.get(key)
+        if cache_block is None:
+            cache_block = CacheBlock(family, [None] * rows_in_block)
+            self._blocks[key] = cache_block
+            self._bytes += cache_block.bytes_used
+        elif cache_block.nrows < rows_in_block:
+            # The block grew (file append, §4.5): widen in place.
+            self._bytes += cache_block._grow(rows_in_block)
+        return cache_block
+
     def put(self, attr: int, block: int, rows_in_block: int,
             entries: list[tuple[int, object]], family: str) -> None:
         """Merge converted values into the block.
@@ -105,36 +287,27 @@ class BinaryCache:
         """
         if not entries:
             return
-        key = (attr, block)
-        cache_block = self._blocks.get(key)
-        if cache_block is None:
-            cache_block = CacheBlock(
-                family=family,
-                values=[None] * rows_in_block,
-                mask=bytearray(rows_in_block),
-            )
-            self._blocks[key] = cache_block
-        elif len(cache_block.mask) < rows_in_block:
-            # The block grew (file append, §4.5): widen in place.
-            grow = rows_in_block - len(cache_block.mask)
-            cache_block.values.extend([None] * grow)
-            cache_block.mask.extend(bytearray(grow))
+        cache_block = self._block_for(attr, block, rows_in_block, family)
+        mask = cache_block.mask
         added = 0
+        added_bytes = 0
+        per_value = family not in _TYPED_DTYPES
         for row_in_block, value in entries:
             if row_in_block >= rows_in_block:
                 raise StorageError(
                     f"row {row_in_block} outside block of {rows_in_block}")
-            if cache_block.mask[row_in_block]:
+            if mask[row_in_block]:
                 continue
-            cache_block.values[row_in_block] = value
-            cache_block.mask[row_in_block] = 1
-            delta = _value_bytes(family, value)
-            cache_block.bytes_used += delta
-            self._bytes += delta
+            cache_block._set(row_in_block, value)
             added += 1
+            if per_value:
+                added_bytes += _value_bytes(family, value)
         if added:
+            if per_value:
+                cache_block.bytes_used += added_bytes
+                self._bytes += added_bytes
             self.model.cache_write(added)
-        self._blocks.move_to_end(key)
+        self._blocks.move_to_end((attr, block))
         self._enforce_budget()
 
     def put_column(self, attr: int, block: int, rows_in_block: int,
@@ -149,44 +322,29 @@ class BinaryCache:
         n = len(row_indexes)
         if n == 0:
             return
-        key = (attr, block)
-        cache_block = self._blocks.get(key)
-        if cache_block is None:
-            cache_block = CacheBlock(
-                family=family,
-                values=[None] * rows_in_block,
-                mask=bytearray(rows_in_block),
-            )
-            self._blocks[key] = cache_block
-        elif len(cache_block.mask) < rows_in_block:
-            grow = rows_in_block - len(cache_block.mask)
-            cache_block.values.extend([None] * grow)
-            cache_block.mask.extend(bytearray(grow))
         if int(row_indexes[-1]) >= rows_in_block:
             raise StorageError(
                 f"row {int(row_indexes[-1])} outside block of "
                 f"{rows_in_block}")
-        block_values = cache_block.values
-        block_mask = cache_block.mask
+        cache_block = self._block_for(attr, block, rows_in_block, family)
+        mask = cache_block.mask
         added = 0
         added_bytes = 0
-        fixed = _FIXED_BYTES.get(family)
+        per_value = family not in _TYPED_DTYPES
         for idx, value in zip(row_indexes, values):
             idx = int(idx)
-            if block_mask[idx]:
+            if mask[idx]:
                 continue
-            block_values[idx] = value
-            block_mask[idx] = 1
+            cache_block._set(idx, value)
             added += 1
-            if fixed is None:
+            if per_value:
                 added_bytes += _value_bytes(family, value)
         if added:
-            if fixed is not None:
-                added_bytes = added * fixed
-            cache_block.bytes_used += added_bytes
-            self._bytes += added_bytes
+            if per_value:
+                cache_block.bytes_used += added_bytes
+                self._bytes += added_bytes
             self.model.cache_write(added)
-        self._blocks.move_to_end(key)
+        self._blocks.move_to_end((attr, block))
         self._enforce_budget()
 
     # ------------------------------------------------------------------

@@ -93,6 +93,7 @@ class RawFitsAccess:
              predicate: ScanPredicate | None) -> Iterator[tuple]:
         if self.batch_enabled:
             for batch in self.scan_batches(needed, predicate):
+                self.model.materialize_rows(batch.nrows)
                 yield from batch.iter_rows()
             return
         yield from self._scan_scalar(needed, predicate)
@@ -153,9 +154,7 @@ class RawFitsAccess:
                 hits = mask & cmask[attr]
                 hit_idx = np.flatnonzero(hits)
                 if len(hit_idx):
-                    block_values = cached[attr].values
-                    out[hit_idx] = [block_values[i]
-                                    for i in hit_idx.tolist()]
+                    out[hit_idx] = cached[attr].values_at(hit_idx)
                     model.cache_read(len(hit_idx))
                 miss_idx = np.flatnonzero(mask & ~cmask[attr])
                 if len(miss_idx):
@@ -184,7 +183,7 @@ class RawFitsAccess:
             for attr in out_attrs:
                 if attr not in values_by_attr:
                     values_by_attr[attr] = column_values(attr, qual)
-            out_columns = [values_by_attr[attr][qual_idx].tolist()
+            out_columns = [values_by_attr[attr][qual_idx]
                            for attr in out_attrs]
             model.tuple_form(len(out_attrs) * len(qual_idx))
 
@@ -212,29 +211,26 @@ class RawFitsAccess:
     def _predicate_mask(self, predicate, where_attrs, values_by_attr,
                         n: int) -> np.ndarray:
         if predicate.vector_fn is not None:
-            typed = {}
+            # Typed arrays when a column converts cleanly; the widened
+            # vectorizer takes object arrays (strings, NULL-bearing
+            # numerics) in stride.
+            arrays = {}
             nulls = {}
-            ok = True
             for attr in where_attrs:
-                family = self._families[attr]
-                if family not in ("int", "float"):
-                    ok = False
-                    break
                 values = values_by_attr[attr]
                 null_mask = np.fromiter((v is None for v in values),
                                         dtype=bool, count=n)
-                if null_mask.any():
-                    ok = False
-                    break
-                try:
-                    typed[attr] = values.astype(
-                        np.int64 if family == "int" else np.float64)
-                except (ValueError, TypeError):
-                    ok = False
-                    break
+                family = self._families[attr]
+                typed = None
+                if family in ("int", "float") and not null_mask.any():
+                    try:
+                        typed = values.astype(
+                            np.int64 if family == "int" else np.float64)
+                    except (ValueError, TypeError):
+                        typed = None
+                arrays[attr] = typed if typed is not None else values
                 nulls[attr] = null_mask
-            if ok:
-                return predicate.vector_fn(typed, nulls, n)
+            return predicate.vector_fn(arrays, nulls, n)
         fn = predicate.fn
         mask = np.zeros(n, dtype=bool)
         cols = [values_by_attr[attr] for attr in where_attrs]

@@ -265,6 +265,9 @@ class RawCsvAccess:
             scanner = BatchCsvScan(self, out_attrs, where_attrs,
                                    union_attrs, predicate, collector)
             for batch in scanner.run(handle):
+                # Batch->tuple transposition for a row-mode consumer:
+                # the one place a batch scan materializes rows.
+                self.model.materialize_rows(batch.nrows)
                 yield from batch.iter_rows()
         else:
             yield from self._scan_rows_scalar(

@@ -29,6 +29,7 @@ with delimiter-index arithmetic instead of byte scanning.
 
 from __future__ import annotations
 
+import datetime
 from typing import Iterator
 
 import numpy as np
@@ -73,18 +74,54 @@ def _decode_numeric_column(buf_arr: np.ndarray, starts: np.ndarray,
 
 
 class _Column:
-    """One attribute's values over one block: an aligned object array
-    (None where absent/NULL), a NULL mask, an optional typed array for
-    vector predicates, and the subset that was converted this query."""
+    """One attribute's values over one block.
 
-    __slots__ = ("values", "nulls", "typed", "conv_idx", "conv_values")
+    The canonical storage is ``typed`` — a dtype-tagged array (int64 /
+    float64, int32 day numbers for cache-served dates, bool) covering
+    every *materialized* row — with an object-array view (``values``,
+    None where absent/NULL) built lazily only when a consumer needs
+    Python objects (stats sampling, row-closure fallbacks, date
+    output). When typed assembly is impossible (NULLs, strings, mixed
+    sources) the object array is the storage and ``typed`` is None.
+    ``conv_idx``/``conv_values`` track the subset converted from the
+    raw file this query (the cache-write set)."""
 
-    def __init__(self, n: int):
-        self.values = np.empty(n, dtype=object)
+    __slots__ = ("n", "family", "nulls", "typed", "conv_idx",
+                 "conv_values", "_values", "_materialized")
+
+    def __init__(self, n: int, family: str = "?"):
+        self.n = n
+        self.family = family
         self.nulls = np.zeros(n, dtype=bool)
         self.typed: np.ndarray | None = None
         self.conv_idx: np.ndarray | None = None   # block-relative rows
         self.conv_values: list | None = None
+        self._values: np.ndarray | None = None
+        #: rows actually holding data (None = all); typed slots outside
+        #: this mask are garbage and must not be decoded
+        self._materialized: np.ndarray | None = None
+
+    @property
+    def values(self) -> np.ndarray:
+        if self._values is None:
+            out = np.empty(self.n, dtype=object)
+            if self.typed is not None:
+                mask = self._materialized
+                rows = (np.arange(self.n) if mask is None
+                        else np.flatnonzero(mask))
+                if len(rows):
+                    raw = self.typed[rows]
+                    if self.family == "date":
+                        decoded = [datetime.date.fromordinal(v)
+                                   for v in raw.tolist()]
+                    else:
+                        decoded = raw.tolist()
+                    out[rows] = decoded
+            self._values = out
+        return self._values
+
+    def set_values(self, values: np.ndarray) -> None:
+        self._values = values
 
 
 class BatchCsvScan:
@@ -200,18 +237,17 @@ class BatchCsvScan:
         predicate = self.predicate
         self.model.predicate(predicate.n_terms * n)
         if predicate.vector_fn is not None:
-            typed = {}
+            # Typed arrays where available (int/float, int-day dates
+            # served from the typed cache); object arrays otherwise —
+            # the widened vectorizer handles both.
+            arrays = {}
             nulls = {}
-            vectorizable = True
             for attr in self.where_attrs:
                 column = columns[attr]
-                if column.typed is None:
-                    vectorizable = False
-                    break
-                typed[attr] = column.typed
+                arrays[attr] = (column.typed if column.typed is not None
+                                else column.values)
                 nulls[attr] = column.nulls
-            if vectorizable:
-                return predicate.vector_fn(typed, nulls, n)
+            return predicate.vector_fn(arrays, nulls, n)
         fn = predicate.fn
         where_attrs = self.where_attrs
         cols = [columns[attr].values for attr in where_attrs]
@@ -328,7 +364,8 @@ class BatchCsvScan:
                 state.read_rows(handle, need_sel)
                 state.touched |= need_sel
 
-        out_columns: list[list] = []
+        out_columns: list = []
+        out_nulls: list = []
         qual_idx = np.flatnonzero(qual)
         nqual = len(qual_idx)
         for attr in out_attrs:
@@ -339,7 +376,9 @@ class BatchCsvScan:
                     qual & ~cmask[attr])
                 columns[attr] = column
             model.cache_read(int((cmask[attr] & qual).sum()))
-            out_columns.append(column.values[qual_idx].tolist())
+            arr, mask = self._output_column(column, qual_idx)
+            out_columns.append(arr)
+            out_nulls.append(mask)
         model.tuple_form(len(out_attrs) * nqual)
 
         if collector is not None:
@@ -358,38 +397,83 @@ class BatchCsvScan:
                                           self._families[attr])
         if nqual == 0 and out_attrs:
             return ColumnBatch([[] for _ in out_attrs], 0)
-        return ColumnBatch(out_columns, nqual)
+        return ColumnBatch(out_columns, nqual, out_nulls)
+
+    @staticmethod
+    def _output_column(column: _Column, qual_idx: np.ndarray):
+        """One output column as ``(array, null_mask)`` for the emitted
+        batch — typed when the column materialized typed (dates stay
+        objects in results: day numbers are a cache/predicate format)."""
+        if column.typed is not None and column.family != "date":
+            return column.typed[qual_idx], None
+        mask = column.nulls[qual_idx]
+        return column.values[qual_idx], mask if mask.any() else None
 
     def _materialize_column(self, state: "_IndexedBlockState", attr: int,
                             cache_block, cmask: np.ndarray,
                             conv_mask: np.ndarray) -> _Column:
         """Assemble one attribute column: cached values where present,
         fresh conversions for ``conv_mask`` rows (spans derived via the
-        positional map / incremental tokenization)."""
+        positional map / incremental tokenization).
+
+        When both sources are typed and NULL-free — the typed cache
+        hands over array slices, and numeric conversion took the
+        ``astype`` fast path — the column is assembled as one typed
+        array with no object round-trip: warm scans hand arrays
+        straight to the vectorizer."""
         n = state.n
-        column = _Column(n)
-        cached_idx = np.flatnonzero(cmask)
-        if len(cached_idx):
-            block_values = cache_block.values
-            cached_values = [block_values[i] for i in cached_idx.tolist()]
-            column.values[cached_idx] = cached_values
+        family = self._families[attr]
+        column = _Column(n, family)
         conv_idx = np.flatnonzero(conv_mask)
         column.conv_idx = conv_idx
+        conv_values: list = []
+        conv_typed = None
         if len(conv_idx):
             span_starts, span_ends = state.derive_spans(attr, conv_mask)
-            values, _ = self._convert_values(
+            conv_values, conv_typed = self._convert_values(
                 attr, state.buffer, state.base,
                 span_starts[conv_idx], span_ends[conv_idx])
-            column.conv_values = values
-            column.values[conv_idx] = values
-        else:
-            column.conv_values = []
-        column.nulls = self._null_mask(column.values.tolist())
-        family = self._families[attr]
+        column.conv_values = conv_values
+        cached_idx = np.flatnonzero(cmask)
+
+        # -- typed fast path
+        typed_cache = (cache_block.typed_data()
+                       if cache_block is not None and len(cached_idx)
+                       else None)
+        conv_ok = not len(conv_idx) or conv_typed is not None
+        cache_ok = not len(cached_idx) or (
+            typed_cache is not None
+            and not typed_cache[1][cached_idx].any())
+        if conv_ok and cache_ok and (len(conv_idx) or len(cached_idx)):
+            if len(cached_idx):
+                dtype = typed_cache[0].dtype
+                if conv_typed is not None:
+                    dtype = np.result_type(dtype, conv_typed.dtype)
+                typed = np.zeros(n, dtype=dtype)
+                typed[cached_idx] = typed_cache[0][cached_idx]
+                if conv_typed is not None:
+                    typed[conv_idx] = conv_typed
+            else:
+                typed = np.zeros(n, dtype=conv_typed.dtype)
+                typed[conv_idx] = conv_typed
+            column.typed = typed
+            materialized = cmask | conv_mask
+            if not materialized.all():
+                column._materialized = materialized
+            return column
+
+        # -- object assembly
+        values = np.empty(n, dtype=object)
+        if len(cached_idx):
+            values[cached_idx] = cache_block.values_at(cached_idx)
+        if len(conv_idx):
+            values[conv_idx] = conv_values
+        column.set_values(values)
+        column.nulls = self._null_mask(values.tolist())
         np_dtype = _NUMERIC_DTYPES.get(family)
         if np_dtype is not None and not column.nulls.any() and n:
             try:
-                column.typed = column.values.astype(np_dtype)
+                column.typed = values.astype(np_dtype)
             except (ValueError, TypeError, OverflowError):
                 column.typed = None
         return column
@@ -566,15 +650,20 @@ class BatchCsvScan:
                 tok, starts, ends, upto_w)
             self._charge_stream_tokenize(tok, charges_w, starts, ends)
             for attr in where_attrs:
-                column = _Column(n)
+                column = _Column(n, self._families[attr])
                 values, typed = self._convert_values(
                     attr, buffer, buffer_base,
                     span_starts[:, attr], span_ends[:, attr])
-                column.values[:] = values
                 column.conv_idx = np.arange(n)
                 column.conv_values = values
-                column.nulls = self._null_mask(values)
-                column.typed = typed
+                if typed is not None:
+                    column.typed = typed
+                else:
+                    arr = np.empty(n, dtype=object)
+                    if n:
+                        arr[:] = values
+                    column.set_values(arr)
+                    column.nulls = self._null_mask(values)
                 columns[attr] = column
 
         if self.predicate is not None:
@@ -603,18 +692,22 @@ class BatchCsvScan:
             self._charge_stream_tokenize(tok, charges_s, q_line_starts,
                                          q_line_ends)
 
-        out_columns: list[list] = []
+        out_columns: list = []
+        out_nulls: list = []
         for attr in out_attrs:
             existing = columns.get(attr)
             if existing is not None:
-                out_columns.append(existing.values[qual_idx].tolist())
+                arr, mask = self._output_column(existing, qual_idx)
+                out_columns.append(arr)
+                out_nulls.append(mask)
                 continue
             if nqual == 0:
-                column = _Column(n)
+                column = _Column(n, self._families[attr])
                 column.conv_idx = np.empty(0, dtype=np.int64)
                 column.conv_values = []
                 columns[attr] = column
                 out_columns.append([])
+                out_nulls.append(None)
                 continue
             if upto_w < 0:
                 s_col = sel_starts[:, attr]
@@ -627,14 +720,20 @@ class BatchCsvScan:
             else:
                 s_col = sel_starts[:, attr - upto_w]
                 e_col = sel_ends[:, attr - upto_w]
-            values, _ = self._convert_values(attr, buffer, buffer_base,
-                                             s_col, e_col)
-            column = _Column(n)
-            column.values[qual_idx] = values
+            values, sub_typed = self._convert_values(
+                attr, buffer, buffer_base, s_col, e_col)
+            column = _Column(n, self._families[attr])
+            arr = np.empty(n, dtype=object)
+            arr[qual_idx] = values
+            column.set_values(arr)
             column.conv_idx = qual_idx
             column.conv_values = values
             columns[attr] = column
-            out_columns.append(values)
+            if sub_typed is not None and self._families[attr] != "date":
+                out_columns.append(sub_typed)
+            else:
+                out_columns.append(values)
+            out_nulls.append(None)
         model.tuple_form(len(out_attrs) * nqual)
 
         if self.collector is not None:
@@ -660,7 +759,7 @@ class BatchCsvScan:
                     column.conv_values, self._families[attr])
         if nqual == 0 and out_attrs:
             return ColumnBatch([[] for _ in out_attrs], 0)
-        return ColumnBatch(out_columns, nqual)
+        return ColumnBatch(out_columns, nqual, out_nulls)
 
     def _charge_stream_tokenize(self, tok: BlockTokenizer, charges,
                                 line_starts: np.ndarray,

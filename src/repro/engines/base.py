@@ -192,3 +192,11 @@ class Database:
 
     def counters(self) -> dict[str, float]:
         return self.clock.snapshot()
+
+    @property
+    def rows_materialized(self) -> int:
+        """Running total of per-row tuples materialized inside operator
+        trees (batch->row transpositions; see
+        :attr:`repro.simcost.model.CostModel.rows_materialized`). Stays
+        zero while batch-mode plans execute fully columnar."""
+        return self.model.rows_materialized

@@ -52,6 +52,16 @@ class CostModel:
     ):
         self.clock = clock if clock is not None else VirtualClock()
         self.profile = profile
+        #: Observability counter (NOT a priced event, NOT in the clock
+        #: ledger): per-row Python tuples materialized from columnar
+        #: batches at operator boundaries — scan shims transposing
+        #: batches into rows, and operator batch paths falling back to
+        #: row-at-a-time evaluation. Final result assembly (draining
+        #: the plan root into a QueryResult or cursor buffer) does not
+        #: count. In ``batch_mode`` a fully columnar plan keeps this at
+        #: zero; it is kept out of the clock counters so batch/scalar
+        #: cost parity assertions stay byte-identical.
+        self.rows_materialized = 0
 
     def charge(self, event: CostEvent, units: float = 1) -> None:
         """Charge ``units`` of an arbitrary event."""
@@ -117,6 +127,11 @@ class CostModel:
 
     def tuple_overhead(self, count: int = 1) -> None:
         self.charge(CostEvent.TUPLE_OVERHEAD, count)
+
+    def materialize_rows(self, count: int = 1) -> None:
+        """Record ``count`` batch->tuple materializations (see
+        ``rows_materialized``; free of virtual time by design)."""
+        self.rows_materialized += count
 
     def query_overhead(self) -> None:
         self.charge(CostEvent.QUERY_OVERHEAD, 1)

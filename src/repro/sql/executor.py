@@ -46,6 +46,11 @@ class QueryResult:
     elapsed: float = 0.0
     counters: dict[str, float] = field(default_factory=dict)
     plan: dict = field(default_factory=dict)
+    #: per-row tuples materialized inside the operator tree (upstream
+    #: of final result assembly) while producing this result — 0 for a
+    #: fully columnar batch-mode plan. Kept separate from ``counters``
+    #: (it is an observability metric, not a priced cost event).
+    rows_materialized: int = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -106,11 +111,14 @@ def execute(planned: PlannedQuery, model: CostModel,
         start = model.clock.checkpoint()
     if counters_before is None:
         counters_before = dict(model.clock.counters)
+    materialized_before = model.rows_materialized
     rows = list(batches_to_rows(execute_batches(planned)))
     elapsed = model.clock.elapsed_since(start)
     delta = counters_delta(model.clock.counters, counters_before)
     return QueryResult(columns=planned.names, rows=rows, elapsed=elapsed,
-                       counters=delta, plan=planned.describe())
+                       counters=delta, plan=planned.describe(),
+                       rows_materialized=(model.rows_materialized
+                                          - materialized_before))
 
 
 #: plan-dict keys holding child plans, in render order

@@ -9,15 +9,37 @@ the canonical key (:func:`repro.sql.expressions.expr_key`) of the
 expression that produced a column to its index in the row.
 
 Operators expose two pull modes. ``rows()`` is the classic Volcano
-iterator every operator implements. ``batches()`` pulls
-:class:`~repro.sql.batch.ColumnBatch` blocks instead; ``ScanOp`` feeds
-it straight from a batch-capable access method, ``FilterOp``/
-``ProjectOp``/``LimitOp`` propagate it (amortizing their cost-model
-charges over whole blocks), and every other operator inherits a default
-that transposes its ``rows()`` — so a batch-consuming parent composes
-with any subtree. ``supports_batches`` reports whether a subtree
-produces real (scan-fed) batches; the executor uses it to pick the pull
-mode per query.
+iterator every operator implements; it is retained unchanged as the
+differential oracle for the columnar path. ``batches()`` pulls
+:class:`~repro.sql.batch.ColumnBatch` blocks instead — and, since the
+batch became a typed NumPy container, the whole operator tree stays
+columnar end-to-end in batch mode:
+
+* ``ScanOp`` feeds typed blocks straight from a batch-capable access
+  method; ``FilterOp`` evaluates vectorized masks (falling back to the
+  row closure for shapes the vectorizer does not cover);
+* ``ProjectOp`` passes resolved columns through by reference;
+* ``HashAggregateOp`` / ``SortAggregateOp`` extract group keys and
+  aggregate arguments as arrays, factorize keys per block
+  (``np.unique``-based) and accumulate SUM/COUNT/MIN/MAX/AVG with
+  sequential array updates whose result is bit-identical to the scalar
+  accumulators;
+* ``HashJoinOp`` builds columnar key codes over the (concatenated)
+  build side and probes with ``searchsorted`` + gather expansion;
+* ``SortOp`` orders via repeated stable ``np.argsort`` passes over
+  rank codes, replicating the scalar multi-key stable sort exactly.
+
+Cost charging is pull-mode invariant: batch paths charge the same unit
+totals per block that the row paths charge per row. Every place the
+batch pipeline *does* transpose a block into Python tuples (the scan
+shim, a row-closure filter/projection fallback) records the fact on the
+``rows_materialized`` observability counter, so a fully columnar plan
+is assertable as ``rows_materialized == 0``.
+
+Every operator inherits a default ``batches()`` that transposes its
+``rows()`` — so a batch-consuming parent composes with any subtree.
+``supports_batches`` reports whether a subtree produces real (scan-fed)
+columnar batches; the executor uses it to pick the pull mode per query.
 """
 
 from __future__ import annotations
@@ -25,6 +47,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ExecutionError
 from repro.simcost.model import CostModel
@@ -46,6 +70,47 @@ def layout_resolver(layout: Layout):
     return resolve
 
 
+class _BatchNulls:
+    """Lazy per-column NULL-mask view of one batch, with the mapping
+    ``.get`` interface the vectorizer's mask/value functions expect."""
+
+    __slots__ = ("batch",)
+
+    def __init__(self, batch: ColumnBatch):
+        self.batch = batch
+
+    def get(self, index: int):
+        return self.batch.null_mask(index)
+
+
+def _concat_columns(parts: list[np.ndarray]) -> np.ndarray:
+    """Concatenate column fragments, degrading to object dtype when the
+    fragments disagree (e.g. a typed block followed by a NULL-bearing
+    object block of the same logical column)."""
+    if len(parts) == 1:
+        return parts[0]
+    dtypes = {part.dtype for part in parts}
+    if len(dtypes) > 1 and any(dt == object for dt in dtypes):
+        parts = [part if part.dtype == object else part.astype(object)
+                 for part in parts]
+    return np.concatenate(parts)
+
+
+def _concat_nulls(masks: list, lengths: list[int]):
+    """Concatenate per-fragment NULL masks (None = no NULLs)."""
+    if all(mask is None for mask in masks):
+        return None
+    return np.concatenate([
+        mask if mask is not None else np.zeros(length, dtype=bool)
+        for mask, length in zip(masks, lengths)])
+
+
+def _scalar_of(column: np.ndarray, row: int):
+    """One column entry as a plain Python value."""
+    value = column[row]
+    return value.item() if isinstance(value, np.generic) else value
+
+
 class PlanOp:
     """Base class: an iterator of tuples with a layout and a describe()."""
 
@@ -59,8 +124,8 @@ class PlanOp:
     @property
     def supports_batches(self) -> bool:
         """True when :meth:`batches` yields real columnar blocks (a
-        batch-capable scan feeds this subtree) rather than transposed
-        rows."""
+        batch-capable scan feeds this subtree and every operator on the
+        way knows how to stay columnar) rather than transposed rows."""
         return False
 
     def batches(self) -> Iterator[ColumnBatch]:
@@ -118,16 +183,21 @@ class ScanOp(PlanOp):
 
 class FilterOp(PlanOp):
     """Residual predicate evaluation (join predicates that could not be
-    turned into hash keys, HAVING, multi-table conjuncts)."""
+    turned into hash keys, HAVING, multi-table conjuncts).
+
+    When the planner could vectorize the predicate over the input
+    layout (``vector_fn``), the batch path evaluates one mask per block
+    and gathers survivors without touching a single tuple."""
 
     def __init__(self, model: CostModel, child: PlanOp,
                  predicate_fn: Callable, n_terms: int = 1,
-                 label: str = "Filter"):
+                 label: str = "Filter", vector_fn: Callable | None = None):
         super().__init__(model, child.layout)
         self.child = child
         self.predicate_fn = predicate_fn
         self.n_terms = n_terms
         self.label = label
+        self.vector_fn = vector_fn
 
     def rows(self) -> Iterator[tuple]:
         predicate = self.predicate_fn
@@ -144,16 +214,24 @@ class FilterOp(PlanOp):
 
     def batches(self) -> Iterator[ColumnBatch]:
         predicate = self.predicate_fn
+        vector_fn = self.vector_fn
         for batch in self.child.batches():
             if not batch.nrows:
                 continue
             self.model.predicate(self.n_terms * batch.nrows)
+            if vector_fn is not None:
+                mask = vector_fn(batch.columns, _BatchNulls(batch),
+                                 batch.nrows)
+                yield batch.take(np.flatnonzero(mask))
+                continue
+            self.model.materialize_rows(batch.nrows)
             kept = [row for row in batch.iter_rows()
                     if predicate(row) is True]
             yield ColumnBatch.from_rows(kept, batch.width)
 
     def describe(self) -> dict:
         return {"op": self.label, "terms": self.n_terms,
+                "vectorized": self.vector_fn is not None,
                 "input": self.child.describe()}
 
 
@@ -194,14 +272,21 @@ class GateOp(PlanOp):
 
 
 class ProjectOp(PlanOp):
-    """Computes output expressions; owns the result column names."""
+    """Computes output expressions; owns the result column names.
+
+    ``col_indices`` (from the planner) marks output expressions that
+    are plain input columns: the batch path forwards those arrays by
+    reference and only materializes rows for genuinely computed
+    expressions."""
 
     def __init__(self, model: CostModel, child: PlanOp,
-                 fns: list[Callable], layout: Layout, names: list[str]):
+                 fns: list[Callable], layout: Layout, names: list[str],
+                 col_indices: list[int | None] | None = None):
         super().__init__(model, layout)
         self.child = child
         self.fns = fns
         self.names = names
+        self.col_indices = col_indices
 
     def rows(self) -> Iterator[tuple]:
         fns = self.fns
@@ -218,29 +303,121 @@ class ProjectOp(PlanOp):
     def batches(self) -> Iterator[ColumnBatch]:
         fns = self.fns
         width = len(fns)
+        indices = self.col_indices
+        pure = indices is not None and all(i is not None for i in indices)
         for batch in self.child.batches():
             if batch.nrows:
                 self.model.tuple_form(width * batch.nrows)
-            columns = [[fn(row) for row in batch.iter_rows()]
-                       for fn in fns]
-            yield ColumnBatch(columns, batch.nrows)
+            if pure:
+                yield ColumnBatch([batch.columns[i] for i in indices],
+                                  batch.nrows,
+                                  [batch.nulls[i] for i in indices])
+                continue
+            rows = list(batch.iter_rows())
+            if rows:
+                self.model.materialize_rows(len(rows))
+            columns: list = []
+            nulls: list = []
+            for j, fn in enumerate(fns):
+                if indices is not None and indices[j] is not None:
+                    columns.append(batch.columns[indices[j]])
+                    nulls.append(batch.nulls[indices[j]])
+                else:
+                    columns.append([fn(row) for row in rows])
+                    nulls.append(None)
+            yield ColumnBatch(columns, batch.nrows, nulls)
 
     def describe(self) -> dict:
         return {"op": "Project", "columns": self.names,
                 "input": self.child.describe()}
 
 
+# ---------------------------------------------------------------------------
+# Hash join (columnar build/probe)
+# ---------------------------------------------------------------------------
+class _KeyEncoder:
+    """Per-key-column code assignment over the build side, probe-able
+    from the other side. Typed numeric columns use sorted-unique +
+    ``searchsorted``; object columns (strings, dates, NULL-bearing
+    blocks) use a Python dict over scalar values — never row tuples."""
+
+    __slots__ = ("uniques", "mapping", "size", "_probe_mapping")
+
+    def __init__(self, column: np.ndarray, valid: np.ndarray):
+        self._probe_mapping: dict | None = None
+        if column.dtype != object:
+            self.uniques = np.unique(column[valid])
+            self.mapping = None
+            self.size = len(self.uniques)
+        else:
+            mapping: dict = {}
+            for row in np.flatnonzero(valid).tolist():
+                mapping.setdefault(column[row], len(mapping))
+            self.uniques = None
+            self.mapping = mapping
+            self.size = len(mapping)
+
+    def encode(self, column: np.ndarray, valid: np.ndarray,
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """``(codes, known)`` — code per row (garbage where not known)
+        and the mask of rows whose value exists in the build side."""
+        n = len(column)
+        codes = np.zeros(n, dtype=np.int64)
+        known = np.zeros(n, dtype=bool)
+        if self.mapping is not None:
+            mapping = self.mapping
+            for row in np.flatnonzero(valid).tolist():
+                code = mapping.get(_scalar_of(column, row))
+                if code is not None:
+                    codes[row] = code
+                    known[row] = True
+            return codes, known
+        if self.size == 0:
+            return codes, known
+        if column.dtype == object:
+            # Probe side carries objects against a typed build side:
+            # fall back to value hashing (mapping built once, cached —
+            # probes arrive one batch at a time).
+            if self._probe_mapping is None:
+                self._probe_mapping = {_scalar_of(self.uniques, i): i
+                                       for i in range(self.size)}
+            mapping = self._probe_mapping
+            for row in np.flatnonzero(valid).tolist():
+                code = mapping.get(_scalar_of(column, row))
+                if code is not None:
+                    codes[row] = code
+                    known[row] = True
+            return codes, known
+        pos = np.searchsorted(self.uniques, column)
+        pos_c = np.minimum(pos, self.size - 1)
+        hit = valid & (self.uniques[pos_c] == column)
+        codes[hit] = pos_c[hit]
+        known = hit
+        return codes, known
+
+
 class HashJoinOp(PlanOp):
-    """Equi-join; builds a hash table on the right (smaller) input."""
+    """Equi-join; builds a hash table on the right (smaller) input.
+
+    With batch-capable children and resolved key columns
+    (``left_key_idx`` / ``right_key_idx`` from the planner), the batch
+    path concatenates the build side column-wise, encodes keys into a
+    shared integer code space, and probes each left block with
+    ``searchsorted`` + repeat/gather output assembly — no per-row
+    tuples anywhere."""
 
     def __init__(self, model: CostModel, left: PlanOp, right: PlanOp,
                  left_key_fns: list[Callable], right_key_fns: list[Callable],
-                 layout: Layout):
+                 layout: Layout,
+                 left_key_idx: list[int | None] | None = None,
+                 right_key_idx: list[int | None] | None = None):
         super().__init__(model, layout)
         self.left = left
         self.right = right
         self.left_key_fns = left_key_fns
         self.right_key_fns = right_key_fns
+        self.left_key_idx = left_key_idx
+        self.right_key_idx = right_key_idx
 
     def rows(self) -> Iterator[tuple]:
         model = self.model
@@ -258,6 +435,114 @@ class HashJoinOp(PlanOp):
                 continue
             for match in table.get(key, ()):
                 yield row + match
+
+    @property
+    def supports_batches(self) -> bool:
+        return (self.left.supports_batches and self.right.supports_batches
+                and self.left_key_idx is not None
+                and self.right_key_idx is not None
+                and all(i is not None for i in self.left_key_idx)
+                and all(i is not None for i in self.right_key_idx))
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        if not self.supports_batches:
+            yield from super().batches()
+            return
+        model = self.model
+
+        # ---- build: drain and concatenate the right side column-wise
+        parts = [b for b in self.right.batches() if b.nrows]
+        lengths = [b.nrows for b in parts]
+        right_width = len(self.right.layout)
+        if parts:
+            r_columns = [_concat_columns([b.columns[c] for b in parts])
+                         for c in range(right_width)]
+            r_nulls = [_concat_nulls([b.null_mask(c) for b in parts],
+                                     lengths) for c in range(right_width)]
+            r_total = sum(lengths)
+        else:
+            r_columns = [np.empty(0, dtype=object)
+                         for _ in range(right_width)]
+            r_nulls = [None] * right_width
+            r_total = 0
+
+        r_valid = np.ones(r_total, dtype=bool)
+        for idx in self.right_key_idx:
+            mask = r_nulls[idx]
+            if mask is not None:
+                r_valid &= ~mask
+        model.hash_probe(int(r_valid.sum()))
+
+        # Staged pair-compaction: after every key the running code is
+        # re-compacted via np.unique, so the intermediate product
+        # ``code * (size + 1) + key_code`` stays bounded by roughly
+        # n_r^2 and cannot overflow int64 for any key count or
+        # cardinality. The per-stage sorted raw codes are kept so the
+        # probe side maps into the same compacted space.
+        encoders: list[_KeyEncoder] = []
+        stage_uniques: list[np.ndarray] = []
+        r_codes = np.zeros(r_total, dtype=np.int64)
+        for idx in self.right_key_idx:
+            encoder = _KeyEncoder(r_columns[idx], r_valid)
+            encoders.append(encoder)
+            codes, known = encoder.encode(r_columns[idx], r_valid)
+            r_valid = r_valid & known  # every build value is known
+            raw = r_codes * (encoder.size + 1) + codes
+            uniq_raw, inverse = np.unique(raw, return_inverse=True)
+            stage_uniques.append(uniq_raw)
+            r_codes = inverse.astype(np.int64, copy=False)
+        r_valid_idx = np.flatnonzero(r_valid)
+        r_codes = r_codes[r_valid_idx]
+        order = np.argsort(r_codes, kind="stable")
+        sorted_codes = r_codes[order]
+        uniq_codes, counts = np.unique(r_codes, return_counts=True)
+        starts = np.searchsorted(sorted_codes, uniq_codes)
+
+        # ---- probe: stream the left side block by block
+        for batch in self.left.batches():
+            n = batch.nrows
+            if not n:
+                continue
+            model.hash_probe(n)
+            if len(uniq_codes) == 0:
+                continue
+            l_valid = np.ones(n, dtype=bool)
+            for idx in self.left_key_idx:
+                mask = batch.null_mask(idx)
+                if mask is not None:
+                    l_valid &= ~mask
+            l_codes = np.zeros(n, dtype=np.int64)
+            for idx, encoder, uniq_raw in zip(self.left_key_idx, encoders,
+                                              stage_uniques):
+                codes, known = encoder.encode(batch.columns[idx], l_valid)
+                l_valid = l_valid & known
+                raw = l_codes * (encoder.size + 1) + codes
+                stage_pos = np.searchsorted(uniq_raw, raw)
+                stage_pos = np.minimum(stage_pos, len(uniq_raw) - 1)
+                l_valid = l_valid & (uniq_raw[stage_pos] == raw)
+                l_codes = stage_pos
+            pos = np.searchsorted(uniq_codes, l_codes)
+            pos_c = np.minimum(pos, len(uniq_codes) - 1)
+            hit = l_valid & (uniq_codes[pos_c] == l_codes)
+            hit_rows = np.flatnonzero(hit)
+            if not len(hit_rows):
+                continue
+            group = pos_c[hit_rows]
+            group_counts = counts[group]
+            total = int(group_counts.sum())
+            left_out = np.repeat(hit_rows, group_counts)
+            base = np.repeat(np.cumsum(group_counts) - group_counts,
+                             group_counts)
+            within = np.arange(total) - base
+            right_out = r_valid_idx[
+                order[np.repeat(starts[group], group_counts) + within]]
+            out_columns = ([col[left_out] for col in batch.columns]
+                           + [col[right_out] for col in r_columns])
+            out_nulls = ([mask[left_out] if mask is not None else None
+                          for mask in batch.nulls]
+                         + [mask[right_out] if mask is not None else None
+                            for mask in r_nulls])
+            yield ColumnBatch(out_columns, total, out_nulls)
 
     def describe(self) -> dict:
         return {"op": "HashJoin", "keys": len(self.left_key_fns),
@@ -390,18 +675,307 @@ class _Accumulator:
         return self.extreme
 
 
+def _has_nan(column: np.ndarray) -> bool:
+    if column.dtype == np.float64:
+        return bool(np.isnan(column).any())
+    if column.dtype == object:
+        return any(isinstance(v, float) and v != v
+                   for v in column.tolist())
+    return False
+
+
+def _group_codes(column: np.ndarray, null_mask: Optional[np.ndarray],
+                 ) -> tuple[np.ndarray, int]:
+    """Batch-local integer codes for one group-key column (NULL is its
+    own group, coded last). Returns ``(codes, code_space)``.
+
+    NaN rows each get their *own* code: the scalar path keys groups by
+    a Python dict, where every freshly-parsed ``nan`` hashes alike but
+    compares unequal — one group per NaN row — while ``np.unique``
+    would collapse them."""
+    n = len(column)
+    if column.dtype != object:
+        nan_mask = (np.isnan(column)
+                    if column.dtype == np.float64 else None)
+        if nan_mask is not None and not nan_mask.any():
+            nan_mask = None
+        if (null_mask is not None and null_mask.any()) or \
+                nan_mask is not None:
+            codes = np.zeros(n, dtype=np.int64)
+            valid = np.ones(n, dtype=bool)
+            if null_mask is not None:
+                valid &= ~null_mask
+            if nan_mask is not None:
+                valid &= ~nan_mask
+            uniques, inverse = np.unique(column[valid],
+                                         return_inverse=True)
+            codes[valid] = inverse
+            space = len(uniques)
+            if nan_mask is not None:
+                nan_rows = np.flatnonzero(nan_mask)
+                if null_mask is not None:
+                    nan_rows = nan_rows[~null_mask[nan_rows]]
+                codes[nan_rows] = space + np.arange(len(nan_rows))
+                space += len(nan_rows)
+            if null_mask is not None and null_mask.any():
+                codes[null_mask] = space
+                space += 1
+            return codes, max(space, 1)
+        _, inverse = np.unique(column, return_inverse=True)
+        return inverse.astype(np.int64, copy=False), int(inverse.max(
+            initial=-1)) + 2
+    mapping: dict = {}
+    codes = np.empty(n, dtype=np.int64)
+    values = column.tolist()
+    explicit = null_mask if null_mask is not None else None
+    null_rows = []
+    for i, value in enumerate(values):
+        if value is None or (explicit is not None and explicit[i]):
+            null_rows.append(i)
+            codes[i] = -1
+        else:
+            codes[i] = mapping.setdefault(value, len(mapping))
+    if null_rows:
+        codes[null_rows] = len(mapping)
+    return codes, len(mapping) + 1
+
+
+#: typed dtypes the array accumulators handle natively; everything else
+#: (strings, dates, NULL-holed object columns, bools) takes the scalar
+#: per-value loop — still columnar input, never row tuples.
+def _acc_kind(values) -> str:
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        if np.issubdtype(values.dtype, np.integer):
+            return "int"
+        if np.issubdtype(values.dtype, np.floating):
+            return "float"
+    return "object"
+
+
+class _VecAgg:
+    """One aggregate's per-group state, fed column slices batch-wise.
+
+    Updates are applied in input order (``np.add.at`` /
+    ``np.minimum.at`` are sequential, unbuffered), so totals are
+    bit-identical to the scalar accumulators — float summation order
+    included. Sum identity is ``-0.0`` so a single ``-0.0`` input
+    survives exactly."""
+
+    __slots__ = ("func", "count", "data", "flags", "size", "_abs_bound")
+
+    def __init__(self, func: str):
+        self.func = func
+        self.count = np.zeros(0, dtype=np.int64)
+        self.data: np.ndarray | None = None
+        self.flags = np.zeros(0, dtype=bool)
+        self.size = 0
+        #: upper bound on any int64 sum's magnitude (overflow guard)
+        self._abs_bound = 0
+
+    # -- growth --------------------------------------------------------
+    def _identity(self, dtype) -> np.ndarray:
+        if self.func in ("min", "max"):
+            if dtype == np.int64:
+                info = np.iinfo(np.int64)
+                fill = info.max if self.func == "min" else info.min
+                return np.full(1, fill, dtype=np.int64)
+            if dtype == np.float64:
+                fill = math.inf if self.func == "min" else -math.inf
+                return np.full(1, fill, dtype=np.float64)
+            return np.empty(1, dtype=object)
+        if dtype == np.int64:
+            return np.zeros(1, dtype=np.int64)
+        if dtype == np.float64:
+            return np.full(1, -0.0, dtype=np.float64)
+        return np.empty(1, dtype=object)
+
+    def ensure(self, size: int) -> None:
+        if size <= self.size:
+            return
+        grow = size - self.size
+        self.count = np.concatenate(
+            [self.count, np.zeros(grow, dtype=np.int64)])
+        self.flags = np.concatenate(
+            [self.flags, np.zeros(grow, dtype=bool)])
+        if self.data is not None:
+            dtype = (self.data.dtype if self.data.dtype != object
+                     else object)
+            self.data = np.concatenate(
+                [self.data, np.repeat(self._identity(dtype), grow)])
+        self.size = size
+
+    def _establish(self, kind: str) -> None:
+        dtype = {"int": np.int64, "float": np.float64,
+                 "object": object}[kind]
+        self.data = np.repeat(self._identity(dtype), self.size)
+
+    def _promote(self, kind: str) -> None:
+        """Widen the accumulator storage to admit ``kind`` values,
+        preserving exact totals (int64 -> float64 only when the scalar
+        path would have mixed int and float anyway)."""
+        current = _acc_kind(self.data)
+        if current == kind or current == "object":
+            return
+        if current == "float" and kind == "int":
+            return  # float storage admits ints directly
+        if current == "int" and kind == "float":
+            self.data = self.data.astype(np.float64)
+            if self.func in ("min", "max"):
+                # Restore exact float sentinels for untouched groups.
+                fill = math.inf if self.func == "min" else -math.inf
+                self.data[~self.flags] = fill
+            return
+        promoted = np.repeat(self._identity(object), self.size)
+        seen = self.flags if self.func in ("min", "max") else self.count > 0
+        rows = np.flatnonzero(seen)
+        if len(rows):
+            promoted[rows] = [self.data[r].item() for r in rows.tolist()]
+        self.data = promoted
+
+    # -- updates -------------------------------------------------------
+    def update(self, slots: np.ndarray, values, null_mask) -> None:
+        func = self.func
+        n = len(slots)
+        if func == "count_star":
+            np.add.at(self.count, slots, 1)
+            return
+        if isinstance(values, np.ndarray):
+            pass
+        else:  # broadcast constant (e.g. sum(1))
+            const = np.empty(n, dtype=object)
+            const[:] = values
+            values = const
+        if null_mask is not None and null_mask.any():
+            keep = np.flatnonzero(~null_mask)
+            slots = slots[keep]
+            values = values[keep]
+        if values.dtype == object:
+            drop = np.fromiter((v is None for v in values.tolist()),
+                               dtype=bool, count=len(values))
+            if drop.any():
+                keep = np.flatnonzero(~drop)
+                slots = slots[keep]
+                values = values[keep]
+        if not len(slots):
+            return
+        if func == "count":
+            np.add.at(self.count, slots, 1)
+            return
+        kind = _acc_kind(values)
+        if self.data is None:
+            self._establish(kind)
+        else:
+            self._promote(kind)
+        if _acc_kind(self.data) == "object":
+            self._update_object(slots, values)
+            return
+        if func in ("sum", "avg"):
+            if self.data.dtype == np.int64:
+                # int64 wraps where the scalar oracle sums exact Python
+                # ints: bound the total magnitude and promote to object
+                # (arbitrary precision) before overflow is possible.
+                peak = int(np.abs(values).max(initial=0))
+                if peak < 0:  # abs(int64 min) overflows back negative
+                    peak = 1 << 63
+                self._abs_bound += peak * len(values)
+                if self._abs_bound >= (1 << 62):
+                    self._promote("object")
+                    self._update_object(slots, values)
+                    return
+            np.add.at(self.data, slots, values)
+            np.add.at(self.count, slots, 1)
+            return
+        if values.dtype == np.float64 and bool(np.isnan(values).any()):
+            # np.minimum/maximum propagate NaN; the scalar accumulator's
+            # `<`/`>` comparisons keep the incumbent. Take the scalar
+            # loop for the exact first-value-wins NaN semantics.
+            self._update_object(slots, values)
+            return
+        if func == "min":
+            np.minimum.at(self.data, slots, values)
+            self.flags[slots] = True
+        else:
+            np.maximum.at(self.data, slots, values)
+            self.flags[slots] = True
+
+    def _update_object(self, slots: np.ndarray, values: np.ndarray) -> None:
+        func = self.func
+        data = self.data
+        flags = self.flags
+        count = self.count
+        for slot, value in zip(slots.tolist(), values.tolist()):
+            if func in ("sum", "avg"):
+                data[slot] = (value if not count[slot]
+                              else data[slot] + value)
+                count[slot] += 1
+            elif func == "min":
+                if not flags[slot] or value < data[slot]:
+                    data[slot] = value
+                    flags[slot] = True
+            else:
+                if not flags[slot] or value > data[slot]:
+                    data[slot] = value
+                    flags[slot] = True
+
+    # -- results -------------------------------------------------------
+    def result_column(self, size: int) -> np.ndarray:
+        """Per-group results as an array sized ``size`` (object dtype
+        whenever any group is NULL)."""
+        self.ensure(size)
+        func = self.func
+        if func in ("count", "count_star"):
+            return self.count[:size].copy()
+        if self.data is None:
+            return np.empty(size, dtype=object)  # all NULL
+        if func in ("sum", "avg"):
+            seen = self.count[:size] > 0
+        else:
+            seen = self.flags[:size]
+        if func == "avg":
+            out = np.empty(size, dtype=object)
+            for slot in np.flatnonzero(seen).tolist():
+                total = self.data[slot]
+                if isinstance(total, np.generic):
+                    total = total.item()
+                out[slot] = total / int(self.count[slot])
+            if bool(seen.all()) and size:
+                try:
+                    return out.astype(np.float64)
+                except (ValueError, TypeError):
+                    return out
+            return out
+        if bool(seen.all()) and self.data.dtype != object:
+            return self.data[:size].copy()
+        out = np.empty(size, dtype=object)
+        for slot in np.flatnonzero(seen).tolist():
+            value = self.data[slot]
+            out[slot] = value.item() if isinstance(value, np.generic) \
+                else value
+        return out
+
+
 class HashAggregateOp(PlanOp):
-    """Hash-based grouping (chosen when statistics predict few groups)."""
+    """Hash-based grouping (chosen when statistics predict few groups).
+
+    With a batch-capable child and vectorizable group keys / aggregate
+    arguments (``group_value_fns`` / ``agg_value_fns`` from the
+    planner), the batch path factorizes keys per block, maps them into
+    a global group table, and feeds whole column slices to array
+    accumulators — per-row tuples are never formed."""
 
     strategy = "hash"
 
     def __init__(self, model: CostModel, child: PlanOp,
                  group_fns: list[Callable], aggs: list[AggSpec],
-                 layout: Layout):
+                 layout: Layout,
+                 group_value_fns: list | None = None,
+                 agg_value_fns: list | None = None):
         super().__init__(model, layout)
         self.child = child
         self.group_fns = group_fns
         self.aggs = aggs
+        self.group_value_fns = group_value_fns
+        self.agg_value_fns = agg_value_fns
 
     def _consume(self, ordered_rows: Iterator[tuple] | None = None):
         model = self.model
@@ -433,15 +1007,155 @@ class HashAggregateOp(PlanOp):
         for key, accumulators in groups.values():
             yield key + tuple(acc.result() for acc in accumulators)
 
+    # -- columnar pull -------------------------------------------------
+    @property
+    def _vector_ready(self) -> bool:
+        if not self.child.supports_batches:
+            return False
+        if self.group_value_fns is None or self.agg_value_fns is None:
+            return False
+        if any(fn is None for fn in self.group_value_fns):
+            return False
+        for spec, fn in zip(self.aggs, self.agg_value_fns):
+            if spec.distinct:
+                return False
+            if spec.func != "count_star" and fn is None:
+                return False
+        return True
+
+    @property
+    def supports_batches(self) -> bool:
+        return self._vector_ready
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        if not self._vector_ready:
+            yield from super().batches()
+            return
+        yield self._consume_vectorized()
+
+    def _consume_vectorized(self) -> ColumnBatch:
+        model = self.model
+        n_aggs = len(self.aggs)
+        n_keys = len(self.group_value_fns)
+        table: dict[tuple, int] = {}
+        key_rows: list[tuple] = []
+        accs = [_VecAgg(spec.func) for spec in self.aggs]
+        total_rows = 0
+        for batch in self.child.batches():
+            n = batch.nrows
+            if not n:
+                continue
+            total_rows += n
+            model.hash_probe(n)
+            if n_aggs:
+                model.aggregate(n_aggs * n)
+            columns = batch.columns
+            nulls = _BatchNulls(batch)
+            if n_keys:
+                slots = self._group_slots(columns, nulls, n, table,
+                                          key_rows)
+            else:
+                if not key_rows:
+                    table[()] = 0
+                    key_rows.append(())
+                slots = np.zeros(n, dtype=np.int64)
+            for acc in accs:
+                acc.ensure(len(key_rows))
+            for spec, fn, acc in zip(self.aggs, self.agg_value_fns, accs):
+                if spec.func == "count_star":
+                    acc.update(slots, None, None)
+                else:
+                    values, null_mask = fn(columns, nulls, n)
+                    acc.update(slots, values, null_mask)
+        return self._emit(key_rows, accs, total_rows)
+
+    def _group_slots(self, columns, nulls, n: int, table: dict,
+                     key_rows: list) -> np.ndarray:
+        key_cols: list[np.ndarray] = []
+        key_nulls: list = []
+        combined = np.zeros(n, dtype=np.int64)
+        for fn in self.group_value_fns:
+            values, null_mask = fn(columns, nulls, n)
+            if not isinstance(values, np.ndarray):
+                broadcast = np.empty(n, dtype=object)
+                broadcast[:] = values
+                values = broadcast
+            key_cols.append(values)
+            key_nulls.append(null_mask)
+            codes, space = _group_codes(values, null_mask)
+            combined = combined * space + codes
+            # Re-compact so the running code space never overflows.
+            _, combined = np.unique(combined, return_inverse=True)
+            combined = combined.astype(np.int64, copy=False)
+        uniques, first_idx, inverse = np.unique(
+            combined, return_index=True, return_inverse=True)
+        order = np.argsort(first_idx, kind="stable")
+        rank = np.empty(len(uniques), dtype=np.int64)
+        rank[order] = np.arange(len(uniques))
+        local = rank[inverse]
+        local_to_global = np.empty(len(uniques), dtype=np.int64)
+        for local_id, row in enumerate(first_idx[order].tolist()):
+            key = tuple(self._key_value(col, mask, row)
+                        for col, mask in zip(key_cols, key_nulls))
+            slot = table.get(key)
+            if slot is None:
+                slot = len(key_rows)
+                table[key] = slot
+                key_rows.append(key)
+            local_to_global[local_id] = slot
+        return local_to_global[local]
+
+    @staticmethod
+    def _key_value(column: np.ndarray, null_mask, row: int):
+        if null_mask is not None and null_mask[row]:
+            return None
+        return _scalar_of(column, row)
+
+    def _group_order(self, key_rows: list, total_rows: int) -> list[int]:
+        """Emission order of the group slots (hash: first-seen)."""
+        return list(range(len(key_rows)))
+
+    def _emit(self, key_rows: list, accs: list[_VecAgg],
+              total_rows: int) -> ColumnBatch:
+        n_keys = len(self.group_value_fns)
+        size = len(key_rows)
+        if size == 0 and n_keys == 0:
+            # Global aggregate over empty input: one all-identity row.
+            columns = []
+            for spec in self.aggs:
+                if spec.func in ("count", "count_star"):
+                    columns.append(np.zeros(1, dtype=np.int64))
+                else:
+                    columns.append(np.empty(1, dtype=object))
+            return ColumnBatch(columns, 1)
+        order = self._group_order(key_rows, total_rows)
+        gather = np.asarray(order, dtype=np.int64)
+        columns = []
+        for k in range(n_keys):
+            col = np.empty(len(order), dtype=object)
+            if len(order):
+                col[:] = [key_rows[slot][k] for slot in order]
+            columns.append(col)
+        for acc in accs:
+            result = acc.result_column(size)
+            columns.append(result[gather] if len(order) else result)
+        return ColumnBatch(columns, len(order))
+
     def describe(self) -> dict:
         return {"op": "Aggregate", "strategy": self.strategy,
                 "groups": len(self.group_fns), "aggs": len(self.aggs),
+                "vectorized": self._vector_ready,
                 "input": self.child.describe()}
 
 
 class SortAggregateOp(HashAggregateOp):
     """Sort-then-group aggregation — the plan PostgreSQL falls back to
-    without statistics (the mechanism behind Figure 12's 3x gap)."""
+    without statistics (the mechanism behind Figure 12's 3x gap).
+
+    The columnar path reuses the hash machinery (a stable sort by group
+    key preserves input order within each group, so accumulation
+    sequences — and float totals — are identical), charges the scalar
+    path's sort comparisons, and emits groups in sorted key order."""
 
     strategy = "sort"
 
@@ -461,6 +1175,14 @@ class SortAggregateOp(HashAggregateOp):
         for key, accumulators in groups.values():
             yield key + tuple(acc.result() for acc in accumulators)
 
+    def _group_order(self, key_rows: list, total_rows: int) -> list[int]:
+        if total_rows > 1:
+            self.model.sort_compare(total_rows * max(
+                1.0, math.log2(total_rows)))
+        return sorted(range(len(key_rows)),
+                      key=lambda slot: tuple(_null_safe(value)
+                                             for value in key_rows[slot]))
+
 
 def _null_safe(value):
     """A sort key that tolerates NULLs (None sorts last)."""
@@ -468,14 +1190,21 @@ def _null_safe(value):
 
 
 class SortOp(PlanOp):
-    """ORDER BY: stable multi-key sort with per-key direction."""
+    """ORDER BY: stable multi-key sort with per-key direction.
+
+    The columnar path ranks each key column (``np.unique`` codes, NULL
+    ranked last) and applies the same least-significant-key-first
+    sequence of stable argsorts the row path applies — ties, NULL
+    placement and per-key direction come out identical."""
 
     def __init__(self, model: CostModel, child: PlanOp,
-                 key_fns: list[Callable], descending: list[bool]):
+                 key_fns: list[Callable], descending: list[bool],
+                 key_idx: list[int | None] | None = None):
         super().__init__(model, child.layout)
         self.child = child
         self.key_fns = key_fns
         self.descending = descending
+        self.key_idx = key_idx
 
     def rows(self) -> Iterator[tuple]:
         materialized = list(self.child.rows())
@@ -491,9 +1220,87 @@ class SortOp(PlanOp):
                     reverse=desc)
         yield from materialized
 
+    @property
+    def supports_batches(self) -> bool:
+        return (self.child.supports_batches and self.key_idx is not None
+                and all(i is not None for i in self.key_idx))
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        if not self.supports_batches:
+            yield from super().batches()
+            return
+        parts = [b for b in self.child.batches() if b.nrows]
+        if not parts:
+            return
+        lengths = [b.nrows for b in parts]
+        width = parts[0].width
+        columns = [_concat_columns([b.columns[c] for b in parts])
+                   for c in range(width)]
+        nulls = [_concat_nulls([b.null_mask(c) for b in parts], lengths)
+                 for c in range(width)]
+        n = sum(lengths)
+        if any(_has_nan(columns[idx]) for idx in self.key_idx):
+            # NaN is comparison-undefined: the scalar path's Python
+            # sort leaves NaN-adjacent rows wherever timsort's partial
+            # comparisons put them. Rank codes cannot replicate that —
+            # replay the row path's exact sort over the same sequence.
+            yield self._scalar_order(columns, nulls, n, width)
+            return
+        if n > 1:
+            self.model.sort_compare(
+                n * max(1.0, math.log2(n)) * len(self.key_fns))
+            order = np.arange(n)
+            for idx, desc in reversed(list(zip(self.key_idx,
+                                               self.descending))):
+                codes = _order_codes(columns[idx], nulls[idx])
+                keys = codes[order]
+                if desc:
+                    keys = -keys
+                order = order[np.argsort(keys, kind="stable")]
+            columns = [col[order] for col in columns]
+            nulls = [mask[order] if mask is not None else None
+                     for mask in nulls]
+        yield ColumnBatch(columns, n, nulls)
+
+    def _scalar_order(self, columns, nulls, n: int,
+                      width: int) -> ColumnBatch:
+        """The row path's sort, verbatim, over the gathered input —
+        the NaN fallback (counted as materialization, because it is)."""
+        materialized = list(ColumnBatch(columns, n, nulls).iter_rows())
+        self.model.materialize_rows(n)
+        if n > 1:
+            self.model.sort_compare(
+                n * max(1.0, math.log2(n)) * len(self.key_fns))
+            for idx, desc in reversed(list(zip(self.key_idx,
+                                               self.descending))):
+                materialized.sort(
+                    key=lambda row, i=idx: _null_safe(row[i]),
+                    reverse=desc)
+        return ColumnBatch.from_rows(materialized, width)
+
     def describe(self) -> dict:
         return {"op": "Sort", "keys": len(self.key_fns),
                 "input": self.child.describe()}
+
+
+def _order_codes(column: np.ndarray, null_mask) -> np.ndarray:
+    """Ascending rank codes of one sort-key column; NULL ranks after
+    every value (matching ``_null_safe``); negation flips direction
+    exactly (codes are ints)."""
+    n = len(column)
+    if column.dtype != object and null_mask is None:
+        _, inverse = np.unique(column, return_inverse=True)
+        return inverse.astype(np.int64, copy=False)
+    codes = np.zeros(n, dtype=np.int64)
+    if null_mask is None:
+        null_mask = np.fromiter((v is None for v in column.tolist()),
+                                dtype=bool, count=n)
+    valid = ~null_mask
+    if valid.any():
+        _, inverse = np.unique(column[valid], return_inverse=True)
+        codes[valid] = inverse
+        codes[null_mask] = int(inverse.max(initial=-1)) + 1
+    return codes
 
 
 class LimitOp(PlanOp):
@@ -530,9 +1337,7 @@ class LimitOp(PlanOp):
                 yield batch
                 remaining -= batch.nrows
             else:
-                yield ColumnBatch([column[:remaining]
-                                   for column in batch.columns],
-                                  remaining)
+                yield batch.head(remaining)
                 remaining = 0
             if remaining == 0:
                 return

@@ -63,7 +63,7 @@ from repro.sql.operators import (
 )
 from repro.sql.optimizer import Optimizer
 from repro.sql.scanapi import ScanPredicate
-from repro.sql.vectorize import build_vector_predicate
+from repro.sql.vectorize import build_vector_predicate, build_vector_value
 
 
 @dataclass
@@ -272,22 +272,29 @@ class Planner:
 
         if having is not None:
             resolver = _resolver_for(relation.layout)
+            having_conjuncts = split_conjuncts(having)
             relation = FilterOp(self.model, relation,
                                 compile_expr(having, resolver),
-                                n_terms=len(split_conjuncts(having)),
-                                label="Having")
+                                n_terms=len(having_conjuncts),
+                                label="Having",
+                                vector_fn=build_vector_predicate(
+                                    having_conjuncts, resolver))
 
         if order_by:
             resolver = _resolver_for(relation.layout)
             key_fns = [compile_expr(o.expr, resolver) for o in order_by]
             relation = SortOp(self.model, relation, key_fns,
-                              [o.descending for o in order_by])
+                              [o.descending for o in order_by],
+                              key_idx=[resolver(o.expr)
+                                       for o in order_by])
 
         resolver = _resolver_for(relation.layout)
         fns = [compile_expr(item.expr, resolver) for item in items]
         names = [item.alias or render_expr(item.expr) for item in items]
         layout = {expr_key(item.expr): i for i, item in enumerate(items)}
-        relation = ProjectOp(self.model, relation, fns, layout, names)
+        relation = ProjectOp(self.model, relation, fns, layout, names,
+                             col_indices=[resolver(item.expr)
+                                          for item in items])
 
         if select.limit is not None:
             relation = LimitOp(self.model, relation, select.limit)
@@ -470,7 +477,9 @@ class Planner:
                     self.model, left, right,
                     [compile_expr(k, left_resolver) for k in left_keys],
                     [compile_expr(k, right_resolver) for k in right_keys],
-                    layout)
+                    layout,
+                    left_key_idx=[left_resolver(k) for k in left_keys],
+                    right_key_idx=[right_resolver(k) for k in right_keys])
                 current_est = self.optimizer.join_output_rows(
                     current_est, est[binding], len(edges_here))
             else:
@@ -507,7 +516,9 @@ class Planner:
             resolver = _resolver_for(plan.layout)
             plan = FilterOp(self.model, plan,
                             compile_expr(conjoin(ready), resolver),
-                            n_terms=len(ready))
+                            n_terms=len(ready),
+                            vector_fn=build_vector_predicate(ready,
+                                                             resolver))
         return plan, remaining
 
     # ------------------------------------------------------------------
@@ -624,7 +635,19 @@ class Planner:
         strategy = self.optimizer.agg_strategy(group_cols, input_est,
                                                has_group_by=bool(group_by))
         op_cls = HashAggregateOp if strategy == "hash" else SortAggregateOp
-        return op_cls(self.model, child, group_fns, specs, layout)
+        # Vectorized twins of the row closures: group keys and aggregate
+        # arguments as column functions (None where not vectorizable —
+        # the operator then falls back to the row path wholesale).
+        group_value_fns = [build_vector_value(g, resolver)
+                           for g in group_by]
+        agg_value_fns = [
+            None if spec.func == "count_star"
+            else build_vector_value(agg.args[0], resolver)
+            for spec, agg in zip(specs, aggregates)
+        ]
+        return op_cls(self.model, child, group_fns, specs, layout,
+                      group_value_fns=group_value_fns,
+                      agg_value_fns=agg_value_fns)
 
 
 def _resolver_for(layout: dict[str, int]):

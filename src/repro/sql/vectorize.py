@@ -1,110 +1,384 @@
-"""Vectorized predicate compilation for the batch scan.
+"""Vectorized predicate and value compilation for columnar execution.
 
-The planner compiles pushed-down WHERE conjuncts twice: once into the
-row closure every engine path understands (``ScanPredicate.fn``), and —
-when every conjunct has a vectorizable shape — into a mask function
-over NumPy columns (``ScanPredicate.vector_fn``). The batch scan uses
-the mask function when the referenced columns materialized as typed
-arrays; otherwise it falls back to the row closure, so vectorization is
-purely an optimization and never changes results.
+Two compilers live here:
 
-Supported shapes (everything else falls back): comparisons between a
-column and a numeric literal (either side), numeric BETWEEN, and AND
-of such terms. SQL three-valued logic is preserved by masking NULL
-rows out of every term's result — a comparison with NULL is not TRUE,
-which is all a WHERE clause observes.
+* :func:`build_vector_predicate` turns a conjunct list into a *mask
+  function* over NumPy columns. The planner compiles pushed-down WHERE
+  conjuncts twice: once into the row closure every engine path
+  understands (``ScanPredicate.fn``) and — when every conjunct has a
+  vectorizable shape — into this mask builder
+  (``ScanPredicate.vector_fn``). The same builder serves the
+  operator-level :class:`~repro.sql.operators.FilterOp` (residual and
+  HAVING predicates) with a layout-based resolver.
+* :func:`build_vector_value` turns a *value* expression (aggregate
+  argument, GROUP BY key) into a column function — plain columns,
+  numeric literals, and arithmetic over them — so grouped aggregation
+  can run without materializing rows.
+
+Supported predicate shapes: comparisons between a column and a
+constant expression (either side; parameters included — see below),
+BETWEEN / NOT BETWEEN, IN / NOT IN lists, IS [NOT] NULL, and arbitrary
+AND/OR trees of such terms. Constants may be any parameter-free,
+column-free expression (``DATE '1998-12-01' - INTERVAL '90' DAY``
+folds at evaluation time) **or contain ``?`` placeholders**: parameter
+slots are read when the mask is built, so a prepared statement re-binds
+and stays on the batch path — the mask is simply rebuilt per
+execution, which is once per scanned block.
+
+Columns arrive as either dtype-tagged arrays (int64/float64/bool,
+int32/int64 day numbers for dates) or object arrays of Python values;
+every term handles both, computing over the non-NULL subset for object
+columns. SQL three-valued logic is preserved in *is-TRUE* form: each
+term's mask is True exactly where the row predicate would return
+``True`` — which is all a WHERE clause observes — so AND/OR compose as
+``&``/``|`` without tracking unknowns separately.
 """
 
 from __future__ import annotations
 
+import datetime
 from typing import Callable, Optional
 
 import numpy as np
 
-from repro.sql.ast_nodes import Between, BinaryOp, ColumnRef, Literal
+from repro.errors import ExecutionError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    InList,
+    IntervalLiteral,
+    IsNull,
+    UnaryOp,
+)
+from repro.sql.batch import object_nulls
+from repro.sql.expressions import (
+    _children,
+    collect_column_refs,
+    compile_expr,
+)
 
-#: columns -> (nrows,) bool mask; columns maps attr index -> np.ndarray,
-#: nulls maps attr index -> bool ndarray (True where the value is NULL).
+#: (columns, nulls, nrows) -> (nrows,) bool is-TRUE mask. ``columns``
+#: maps a column slot (file-attribute index at scan level, batch column
+#: index at operator level) to an ndarray via ``[]``; ``nulls`` maps a
+#: slot to a bool NULL mask (or None) via ``.get``.
 VectorFn = Callable[[dict, dict, int], np.ndarray]
 
+#: (columns, nulls, nrows) -> (values ndarray | scalar, null mask | None)
+ValueFn = Callable[[dict, dict, int], tuple]
+
 _COMPARES = {
-    "=": lambda col, lit: col == lit,
-    "<>": lambda col, lit: col != lit,
-    "<": lambda col, lit: col < lit,
-    "<=": lambda col, lit: col <= lit,
-    ">": lambda col, lit: col > lit,
-    ">=": lambda col, lit: col >= lit,
+    "=": np.equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
 }
 
 _FLIPPED = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
+_ARITH = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.true_divide,
+}
 
-def _numeric_literal(node) -> Optional[float | int]:
-    if isinstance(node, Literal) and isinstance(node.value, (int, float)) \
-            and not isinstance(node.value, bool):
-        return node.value
+
+def _const_fn(node) -> Optional[Callable[[], object]]:
+    """A zero-argument closure evaluating a column-free expression —
+    literals, constant arithmetic, and ``?`` parameter slots (read at
+    call time, so re-binding a prepared statement re-evaluates). None
+    when the expression references columns or cannot compile."""
+    if collect_column_refs(node):
+        return None
+    try:
+        fn = compile_expr(node, lambda _n: None)
+    except Exception:
+        return None
+    return lambda _fn=fn: _fn(())
+
+
+def _null_of(column: np.ndarray, mask: Optional[np.ndarray],
+             ) -> Optional[np.ndarray]:
+    """Resolve a column's NULL mask: trust the explicit mask; derive
+    one for object columns; typed columns without a mask have none."""
+    if mask is not None:
+        return mask
+    if column.dtype == object:
+        computed = object_nulls(column)
+        return computed if computed.any() else None
     return None
 
 
-def _vectorize_conjunct(conjunct, resolver) -> Optional[tuple[int, Callable]]:
-    """``(attr, term_fn)`` for one conjunct, or None if unsupported.
-    ``term_fn(column) -> bool mask`` ignores NULL handling (the caller
-    masks NULL rows out)."""
-    if isinstance(conjunct, BinaryOp) and conjunct.op in _COMPARES:
-        left_attr = resolver(conjunct.left)
-        right_attr = resolver(conjunct.right)
-        if left_attr is not None and right_attr is None:
-            literal = _numeric_literal(conjunct.right)
-            if literal is None:
-                return None
-            op = _COMPARES[conjunct.op]
-            return left_attr, (lambda col, _op=op, _l=literal: _op(col, _l))
-        if right_attr is not None and left_attr is None:
-            literal = _numeric_literal(conjunct.left)
-            if literal is None:
-                return None
-            op = _COMPARES[_FLIPPED[conjunct.op]]
-            return right_attr, (lambda col, _op=op, _l=literal: _op(col, _l))
-        return None
-    if isinstance(conjunct, Between) and not conjunct.negated:
-        attr = resolver(conjunct.operand)
-        if attr is None:
+def _mask_compare(column: np.ndarray, null_mask: Optional[np.ndarray],
+                  op: str, value, nrows: int) -> np.ndarray:
+    """is-TRUE mask of ``column <op> value`` (NULL rows are False)."""
+    if value is None:
+        return np.zeros(nrows, dtype=bool)
+    if column.dtype == object:
+        out = np.zeros(nrows, dtype=bool)
+        if null_mask is not None and null_mask.any():
+            valid = np.flatnonzero(~null_mask)
+            if len(valid):
+                out[valid] = np.asarray(
+                    _COMPARES[op](column[valid], value), dtype=bool)
+        else:
+            out[:] = np.asarray(_COMPARES[op](column, value), dtype=bool)
+        return out
+    if isinstance(value, datetime.date):
+        if np.issubdtype(column.dtype, np.integer):
+            value = value.toordinal()  # int-day date columns
+        else:
+            value = None
+    if value is None or not isinstance(value, (int, float, np.integer,
+                                               np.floating)):
+        # Type-mismatched equality mirrors Python: never equal.
+        if op == "=":
+            out = np.zeros(nrows, dtype=bool)
+        elif op == "<>":
+            out = np.ones(nrows, dtype=bool)
+        else:
+            raise TypeError(
+                f"cannot order-compare typed column with {value!r}")
+    else:
+        out = _COMPARES[op](column, value)
+    if null_mask is not None:
+        out = out & ~null_mask
+    return out
+
+
+def _valid_mask(column: np.ndarray, null_mask: Optional[np.ndarray],
+                nrows: int) -> np.ndarray:
+    if null_mask is None:
+        return np.ones(nrows, dtype=bool)
+    return ~null_mask
+
+
+def _vectorize(node, resolver) -> Optional[VectorFn]:
+    """An is-TRUE mask function for one predicate subtree, or None."""
+    if isinstance(node, BinaryOp) and node.op in ("and", "or"):
+        left = _vectorize(node.left, resolver)
+        right = _vectorize(node.right, resolver)
+        if left is None or right is None:
             return None
-        low = _numeric_literal(conjunct.low)
-        high = _numeric_literal(conjunct.high)
+        if node.op == "and":
+            return lambda c, u, n: left(c, u, n) & right(c, u, n)
+        return lambda c, u, n: left(c, u, n) | right(c, u, n)
+
+    if isinstance(node, BinaryOp) and node.op in _COMPARES:
+        left_slot = resolver(node.left)
+        right_slot = resolver(node.right)
+        if left_slot is not None and right_slot is None:
+            slot, op, const = left_slot, node.op, _const_fn(node.right)
+        elif right_slot is not None and left_slot is None:
+            slot, op, const = (right_slot, _FLIPPED[node.op],
+                               _const_fn(node.left))
+        else:
+            return None
+        if const is None:
+            return None
+
+        def _compare(columns, nulls, nrows, _s=slot, _op=op, _c=const):
+            column = columns[_s]
+            return _mask_compare(column, _null_of(column, nulls.get(_s)),
+                                 _op, _c(), nrows)
+        return _compare
+
+    if isinstance(node, Between):
+        slot = resolver(node.operand)
+        if slot is None:
+            return None
+        low = _const_fn(node.low)
+        high = _const_fn(node.high)
         if low is None or high is None:
             return None
-        return attr, (lambda col, _lo=low, _hi=high:
-                      (col >= _lo) & (col <= _hi))
+        negated = node.negated
+
+        def _between(columns, nulls, nrows, _s=slot, _lo=low, _hi=high,
+                     _neg=negated):
+            column = columns[_s]
+            null_mask = _null_of(column, nulls.get(_s))
+            lo, hi = _lo(), _hi()
+            if lo is None or hi is None:
+                return np.zeros(nrows, dtype=bool)
+            inside = (_mask_compare(column, null_mask, ">=", lo, nrows)
+                      & _mask_compare(column, null_mask, "<=", hi, nrows))
+            if not _neg:
+                return inside
+            return _valid_mask(column, null_mask, nrows) & ~inside
+        return _between
+
+    if isinstance(node, InList):
+        slot = resolver(node.operand)
+        if slot is None:
+            return None
+        items = [_const_fn(item) for item in node.items]
+        if any(item is None for item in items):
+            return None
+        negated = node.negated
+
+        def _in(columns, nulls, nrows, _s=slot, _items=items,
+                _neg=negated):
+            column = columns[_s]
+            null_mask = _null_of(column, nulls.get(_s))
+            contained = np.zeros(nrows, dtype=bool)
+            for item in _items:
+                contained |= _mask_compare(column, null_mask, "=",
+                                           item(), nrows)
+            if not _neg:
+                return contained
+            return _valid_mask(column, null_mask, nrows) & ~contained
+        return _in
+
+    if isinstance(node, IsNull):
+        slot = resolver(node.operand)
+        if slot is None:
+            return None
+        negated = node.negated
+
+        def _is_null(columns, nulls, nrows, _s=slot, _neg=negated):
+            column = columns[_s]
+            null_mask = _null_of(column, nulls.get(_s))
+            if null_mask is None:
+                null_mask = np.zeros(nrows, dtype=bool)
+            return ~null_mask if _neg else null_mask.copy()
+        return _is_null
+
     return None
 
 
 def build_vector_predicate(conjuncts, resolver) -> Optional[VectorFn]:
-    """A mask function equivalent to ``AND`` of ``conjuncts``, or None
-    when any conjunct has a shape the vectorizer does not cover.
+    """A mask function equivalent to ``AND`` of ``conjuncts`` (in
+    is-TRUE terms), or None when any conjunct has a shape the
+    vectorizer does not cover.
 
-    ``resolver`` maps a :class:`ColumnRef` AST node to a file-attribute
-    index (or None) — the same resolver the row compiler uses.
+    ``resolver`` maps an AST node to a column slot (or None). At scan
+    level that is the file-attribute resolver the row compiler uses
+    (hits only :class:`ColumnRef`); at operator level it is a batch
+    layout lookup, which also resolves pre-computed aggregates.
     """
-    terms: list[tuple[int, Callable]] = []
+    terms: list[VectorFn] = []
     for conjunct in conjuncts:
-        def _resolve(node):
-            return resolver(node) if isinstance(node, ColumnRef) else None
-        term = _vectorize_conjunct(conjunct, _resolve)
+        def _resolve(n):
+            try:
+                return resolver(n)
+            except Exception:
+                return None
+        term = _vectorize(conjunct, _resolve)
         if term is None:
             return None
         terms.append(term)
 
     def evaluate(columns: dict, nulls: dict, nrows: int) -> np.ndarray:
         mask = np.ones(nrows, dtype=bool)
-        for attr, term_fn in terms:
-            column = columns.get(attr)
-            if column is None:
-                raise KeyError(attr)
-            mask &= term_fn(column)
-            null_mask = nulls.get(attr)
-            if null_mask is not None:
-                mask &= ~null_mask
+        for term in terms:
+            mask &= term(columns, nulls, nrows)
         return mask
 
     return evaluate
+
+
+# ---------------------------------------------------------------------------
+# Value vectorization (aggregate arguments, GROUP BY keys)
+# ---------------------------------------------------------------------------
+def _combine_nulls(left: Optional[np.ndarray],
+                   right: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return left | right
+
+
+def _contains_interval(expr) -> bool:
+    """INTERVAL arithmetic needs the row path's ``_arith`` special
+    cases (``Interval`` defines no ``__radd__``); the vectorizer
+    refuses such expressions so the operator falls back to rows."""
+    if isinstance(expr, IntervalLiteral):
+        return True
+    return any(_contains_interval(child) for child in _children(expr))
+
+
+def _guard_division(divisor) -> None:
+    """Mirror the row path's explicit zero check (ExecutionError, not a
+    silent inf/nan under a NumPy warning)."""
+    if isinstance(divisor, np.ndarray):
+        zero = np.any(divisor == 0)
+    else:
+        zero = divisor == 0
+    if zero:
+        raise ExecutionError("division by zero")
+
+
+def build_vector_value(expr, resolver) -> Optional[ValueFn]:
+    """Compile a value expression to ``fn(columns, nulls, nrows) ->
+    (values, null_mask)``. ``values`` is a column-shaped ndarray (or a
+    plain scalar for constants, to be broadcast by the consumer);
+    ``null_mask`` is a bool ndarray or None. Covers resolved columns,
+    constant subexpressions, unary minus, and ``+ - * /`` arithmetic —
+    enough for TPC-H Q1-style ``sum(price * (1 - discount))`` shapes.
+    Returns None for anything else (the operator falls back to rows).
+    """
+    slot = None
+    try:
+        slot = resolver(expr)
+    except Exception:
+        slot = None
+    if slot is not None:
+        def _column(columns, nulls, nrows, _s=slot):
+            column = columns[_s]
+            return column, _null_of(column, nulls.get(_s))
+        return _column
+
+    const = _const_fn(expr)
+    if const is not None:
+        def _const(columns, nulls, nrows, _c=const):
+            return _c(), None
+        return _const
+
+    if isinstance(expr, BinaryOp) and expr.op in _ARITH:
+        if _contains_interval(expr):
+            return None
+        left = build_vector_value(expr.left, resolver)
+        right = build_vector_value(expr.right, resolver)
+        if left is None or right is None:
+            return None
+        ufunc = _ARITH[expr.op]
+        is_division = expr.op == "/"
+
+        def _arith(columns, nulls, nrows, _l=left, _r=right, _u=ufunc,
+                   _div=is_division):
+            lv, ln = _l(columns, nulls, nrows)
+            rv, rn = _r(columns, nulls, nrows)
+            null_mask = _combine_nulls(ln, rn)
+            if null_mask is not None and null_mask.any():
+                out = np.empty(nrows, dtype=object)
+                valid = np.flatnonzero(~null_mask)
+                lv_sub = lv[valid] if isinstance(lv, np.ndarray) else lv
+                rv_sub = rv[valid] if isinstance(rv, np.ndarray) else rv
+                if _div:
+                    _guard_division(rv_sub)
+                out[valid] = _u(lv_sub, rv_sub)
+                return out, null_mask
+            if _div:
+                _guard_division(rv)
+            return _u(lv, rv), null_mask
+        return _arith
+
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        operand = build_vector_value(expr.operand, resolver)
+        if operand is None:
+            return None
+
+        def _neg(columns, nulls, nrows, _o=operand):
+            value, null_mask = _o(columns, nulls, nrows)
+            if null_mask is not None and null_mask.any():
+                out = np.empty(nrows, dtype=object)
+                valid = np.flatnonzero(~null_mask)
+                out[valid] = np.negative(value[valid])
+                return out, null_mask
+            return np.negative(value), null_mask
+        return _neg
+
+    return None

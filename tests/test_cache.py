@@ -92,7 +92,9 @@ class TestBudgetAndPriority:
         # 104 B > 100: the (newer!) string block is evicted, not the int.
         assert cache.get(2, 0) is None
         assert cache.get(1, 0) is not None
-        cache.put(3, 0, 8, [(i, 1.5) for i in range(4)], "float")    # 32 B
+        # Typed blocks cost their full array allocation (honest
+        # nbytes), so a 4-row float block is 32 B regardless of fill.
+        cache.put(3, 0, 4, [(i, 1.5) for i in range(4)], "float")    # 32 B
         assert cache.bytes_used == 96
         assert cache.get(1, 0) is not None
         assert cache.get(3, 0) is not None
@@ -128,7 +130,8 @@ class TestInvalidation:
         cache.invalidate_attr(1)
         assert cache.get(1, 0) is None
         assert cache.get(2, 0) is not None
-        assert cache.bytes_used == 8
+        # One 2-row int block remains: 16 B of array allocation.
+        assert cache.bytes_used == 16
 
     def test_clear(self):
         cache, _ = make_cache()
