@@ -210,6 +210,13 @@ class Cursor:
         execution; never raises."""
         return self._job.peak_buffered if self._job is not None else 0
 
+    @property
+    def worker_tasks(self) -> int:
+        """Scan-pool tasks this query's pulls dispatched (its share of
+        the engine's parallel-scan fan-out; 0 under serial scans).
+        0 before any execution; never raises."""
+        return self._job.worker_tasks if self._job is not None else 0
+
     # -- lifecycle -----------------------------------------------------------
     def _require_job(self) -> QueryJob:
         self._check_open()

@@ -9,11 +9,26 @@ so concurrent cursors interleave at batch boundaries and a fetch on a
 still-queued query drives the in-flight ones forward until a slot
 frees (the single-threaded analogue of blocking on admission).
 
+With parallel chunk scans (``config.scan_workers > 1``) admitted
+queries genuinely *overlap on workers* instead of merely taking turns:
+a scan's batch iterator dispatches row-block groups to the engine's
+shared :class:`~repro.core.parallel.ScanWorkerPool` and keeps them in
+flight **across yields**, so while one query's pull runs its
+single-threaded merge here, the other in-flight queries' dispatched
+groups are still computing on the pool. The scheduler itself stays
+single-threaded — that is what keeps admission, structure mutation and
+accounting deterministic — but the compute under it is concurrent.
+
 Every pull is bracketed by engine clock/counter checkpoints and the
 delta is charged to the pulling :class:`QueryJob` alone, so per-query —
 and, summed, per-session — resource accounting falls out of the cost
 model without any global instrumentation (cf. resource-utilization
-monitoring for raw-data query processing).
+monitoring for raw-data query processing). Worker-side charges fold
+into the same ledgers: each group computes against a per-worker
+:class:`~repro.simcost.model.RecordingModel` and the scan replays the
+recorded deltas inside the owning query's pull, so a job's counters
+include every unit its workers spent — and :attr:`QueryJob.
+worker_tasks` counts the pool tasks its pulls dispatched.
 """
 
 from __future__ import annotations
@@ -45,7 +60,7 @@ class QueryJob:
     __slots__ = ("session", "sql", "planned", "names", "plan", "statement",
                  "state", "buffer", "counters", "elapsed", "rows_produced",
                  "rows_fetched", "peak_buffered", "rows_materialized",
-                 "error", "_iterator")
+                 "worker_tasks", "error", "_iterator")
 
     def __init__(self, session: "Session", sql: str,
                  planned: "PlannedQuery | None",
@@ -69,6 +84,10 @@ class QueryJob:
         self.rows_fetched = 0
         self.peak_buffered = 0
         self.rows_materialized = 0
+        #: scan-pool tasks dispatched during this query's pulls — the
+        #: query's share of the engine's worker fan-out (0 under serial
+        #: scans)
+        self.worker_tasks = 0
         self.error: Optional[BaseException] = None
         self._iterator: Optional[Iterator[ColumnBatch]] = None
 
@@ -167,8 +186,11 @@ class Scheduler:
         it to completion. That is the deliberate trade-off of a strict
         FIFO gate in one thread: the streaming bound (one block past
         the fetch) is a guarantee to the *fetching* client, not to
-        clients who leave results unread (see ROADMAP: backing slots
-        with real workers removes the need to drive victims at all)."""
+        clients who leave results unread. Under parallel chunk scans
+        the drive itself is fast — each victim's remaining groups
+        compute on the worker pool while this thread only merges — but
+        eliminating the buffering entirely would need per-slot driver
+        threads (a recorded ROADMAP follow-on)."""
         while job.state == "queued":
             if not self._running:
                 self._refill()
@@ -185,9 +207,11 @@ class Scheduler:
         whichever client happened to be driving the scheduler."""
         clock = self.engine.clock
         model = self.engine.model
+        pool = getattr(self.engine, "scan_pool", None)
         before_seconds = clock.checkpoint()
         before_counters = dict(clock.counters)
         before_materialized = model.rows_materialized
+        before_tasks = pool.tasks_submitted if pool is not None else 0
         batch = None
         exhausted = False
         error: Optional[BaseException] = None
@@ -202,6 +226,10 @@ class Scheduler:
                        counters_delta(clock.counters, before_counters))
             job.rows_materialized += (model.rows_materialized
                                       - before_materialized)
+            if pool is not None:
+                # The scheduler is single-threaded, so every pool task
+                # dispatched during this pull belongs to this job.
+                job.worker_tasks += pool.tasks_submitted - before_tasks
         if error is not None:
             self._settle(job, "failed", error)
             return

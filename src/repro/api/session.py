@@ -45,6 +45,15 @@ class PreparedStatement:
     plan's compiled closures read at evaluation time — no re-parse, no
     re-plan (assertable: the engine's ``query_overhead`` counter only
     moves at prepare time).
+
+    One exception keeps cached plans honest: PostgresRaw collects
+    optimizer statistics *during* scans (§4.4), i.e. potentially after
+    this statement froze its plan — later statistics could flip an
+    aggregation strategy or join order. The statement snapshots the
+    catalog's stats epoch at plan time and transparently re-plans (no
+    re-parse; the shared parameter binding is preserved) when the
+    epoch has moved. Re-plans are counted in
+    ``session.stats["replans"]`` and never touch ``query_overhead``.
     """
 
     def __init__(self, session: "Session", sql: str,
@@ -59,12 +68,34 @@ class PreparedStatement:
         self.binding: Optional[ParamBinding] = parsed.binding
         self.planned = planned
         #: the immutable plan summary, walked once here so every
-        #: re-execution can reuse it
+        #: re-execution can reuse it (until a stats-epoch re-plan
+        #: replaces both)
         self.plan: dict = planned.describe()
+        #: catalog stats epoch the current plan was built under
+        self.stats_epoch: int = session.engine.catalog.stats_epoch
         self.prepare_elapsed = prepare_elapsed
         self.prepare_counters = dict(prepare_counters)
         #: jobs currently streaming from this statement's cached plan
         self._live_jobs: set[QueryJob] = set()
+
+    def _replan_if_stale(self) -> None:
+        """Re-plan from the cached AST when statistics arrived since
+        the current plan was built. Jobs already streaming keep their
+        old plan trees; new executions get the stats-informed one."""
+        engine = self.session.engine
+        epoch = engine.catalog.stats_epoch
+        if epoch == self.stats_epoch:
+            return
+        clock = engine.clock
+        start = clock.checkpoint()
+        before = dict(clock.counters)
+        self.planned = engine.plan_select(self.select)
+        self.plan = self.planned.describe()
+        self.stats_epoch = epoch
+        self.session.stats["replans"] += 1
+        # Like prepare cost, re-plan cost is session work.
+        self.session._charge(clock.elapsed_since(start),
+                             counters_delta(clock.counters, before))
 
     def conflicts_with(self, params: Sequence) -> bool:
         """True when executing with ``params`` would re-bind under a
@@ -127,8 +158,8 @@ class Session:
         self._jobs: set[QueryJob] = set()
         self._elapsed = 0.0
         self._counters: dict[str, float] = {}
-        self.stats = {"parses": 0, "plans": 0, "statement_cache_hits": 0,
-                      "queries": 0}
+        self.stats = {"parses": 0, "plans": 0, "replans": 0,
+                      "statement_cache_hits": 0, "queries": 0}
         engine.attach_session(self)
 
     # -- cursors and execution ---------------------------------------------
@@ -234,8 +265,10 @@ class Session:
                 "prepared statement belongs to a different session")
         with translate_errors():
             if statement.is_explain:
-                # EXPLAIN executes nothing, so its (frozen-at-prepare)
-                # plan is available without binding any parameters.
+                # EXPLAIN executes nothing; its cached plan is
+                # available without binding any parameters (refreshed
+                # first if statistics arrived since it was built).
+                statement._replan_if_stale()
                 columns, rows = explain_rows(statement.plan)
                 job = QueryJob.completed(self, statement.sql, columns,
                                          rows, statement.plan)
@@ -243,6 +276,7 @@ class Session:
                 return job
             statement.bind(params)
             self.engine.refresh_for(statement.select)
+            statement._replan_if_stale()
             job = QueryJob(self, statement.sql, statement.planned,
                            statement=statement, plan=statement.plan)
             statement._live_jobs.add(job)

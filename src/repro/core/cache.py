@@ -216,6 +216,26 @@ class CacheBlock:
         self._data = self.values
         self._nulls = None
 
+    def _bulk_set(self, rows: np.ndarray, typed_values: np.ndarray,
+                  ) -> int | None:
+        """Vectorized merge of non-NULL typed values at ``rows``
+        (rows already cached are left untouched, as in the per-value
+        path). Returns the number of rows newly cached, or None when
+        this block cannot take the fast path (demoted object-list
+        storage, or a dtype the block does not hold)."""
+        data = self._data
+        if isinstance(data, list) or data.dtype != typed_values.dtype:
+            return None
+        rows = np.asarray(rows)
+        new = ~self._mask[rows]
+        if not new.any():
+            return 0
+        idx = rows[new]
+        data[idx] = typed_values[new]
+        self._nulls[idx] = False
+        self._mask[idx] = True
+        return int(new.sum())
+
     def _grow(self, nrows: int) -> int:
         """Widen to ``nrows`` rows (file append, §4.5); returns the
         byte-footprint delta."""
@@ -311,13 +331,23 @@ class BinaryCache:
         self._enforce_budget()
 
     def put_column(self, attr: int, block: int, rows_in_block: int,
-                   row_indexes, values, family: str) -> None:
+                   row_indexes, values, family: str,
+                   typed_values: np.ndarray | None = None) -> None:
         """Whole-chunk insert for the batch scan: merge ``values`` at
         ``row_indexes`` (block-relative, ascending) in one operation —
         no per-row dict updates, one cost charge.
 
         Byte accounting and merge semantics match per-entry
         :meth:`put` exactly (rows already present are left untouched).
+
+        ``typed_values`` is the same column as a dtype-tagged NumPy
+        array (no NULLs — the scan's ``astype`` fast path only succeeds
+        on fully present numeric slices): when the target block holds
+        typed storage of that dtype the merge is one vectorized masked
+        assignment, and ``values`` may then be None (the parallel scan
+        skips the object-list round-trip entirely). Content, byte
+        accounting and the ``cache_write`` charge are identical either
+        way; demoted blocks fall back to the per-value loop.
         """
         n = len(row_indexes)
         if n == 0:
@@ -327,22 +357,28 @@ class BinaryCache:
                 f"row {int(row_indexes[-1])} outside block of "
                 f"{rows_in_block}")
         cache_block = self._block_for(attr, block, rows_in_block, family)
-        mask = cache_block.mask
-        added = 0
-        added_bytes = 0
-        per_value = family not in _TYPED_DTYPES
-        for idx, value in zip(row_indexes, values):
-            idx = int(idx)
-            if mask[idx]:
-                continue
-            cache_block._set(idx, value)
-            added += 1
-            if per_value:
-                added_bytes += _value_bytes(family, value)
-        if added:
-            if per_value:
+        added = None
+        if typed_values is not None:
+            added = cache_block._bulk_set(row_indexes, typed_values)
+        if added is None:
+            if values is None:
+                values = typed_values.tolist()
+            mask = cache_block.mask
+            added = 0
+            added_bytes = 0
+            per_value = family not in _TYPED_DTYPES
+            for idx, value in zip(row_indexes, values):
+                idx = int(idx)
+                if mask[idx]:
+                    continue
+                cache_block._set(idx, value)
+                added += 1
+                if per_value:
+                    added_bytes += _value_bytes(family, value)
+            if added and per_value:
                 cache_block.bytes_used += added_bytes
                 self._bytes += added_bytes
+        if added:
             self.model.cache_write(added)
         self._blocks.move_to_end((attr, block))
         self._enforce_budget()

@@ -7,10 +7,24 @@ budgets set them explicitly), 1024-row horizontal chunks.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import BudgetError
 from repro.formats.csvfmt import DEFAULT_DIALECT, CsvDialect
+
+
+def _default_scan_workers() -> int:
+    """Default worker count for parallel chunk scans: the
+    ``REPRO_SCAN_WORKERS`` environment variable (used by the CI matrix
+    to run the whole suite under parallel scans), else 1 — the serial
+    pipeline, byte-identical to the pre-parallel behavior. Unusable
+    values (non-integers, or anything below 1) fall back to serial
+    rather than making every config construction raise."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SCAN_WORKERS", "1")))
+    except ValueError:
+        return 1
 
 
 @dataclass
@@ -58,6 +72,15 @@ class PostgresRawConfig:
         Sequential read granularity of the batch streaming region
         (matches the scalar path's 256 KiB so I/O cost accounting is
         comparable between the two).
+    scan_workers:
+        Workers for the batch streaming region (OLA-RAW-style parallel
+        chunk scans). ``1`` (the default) runs the serial pipeline;
+        ``N > 1`` fans row-block groups out across ``N`` pool workers,
+        each producing column batches plus *staged* positional-map /
+        cache deltas that a single-threaded merge applies in canonical
+        group order — so results, PM/cache contents and simcost
+        counters are bit-identical to the serial scan at any worker
+        count. Defaults to ``$REPRO_SCAN_WORKERS`` when set.
     """
 
     enable_positional_map: bool = True
@@ -73,6 +96,7 @@ class PostgresRawConfig:
     stats_sample_target: int = 1000
     batch_mode: bool = True
     batch_read_bytes: int = 256 * 1024
+    scan_workers: int = field(default_factory=_default_scan_workers)
     dialect: CsvDialect = field(default_factory=lambda: DEFAULT_DIALECT)
 
     def __post_init__(self) -> None:
@@ -80,6 +104,8 @@ class PostgresRawConfig:
             raise BudgetError("row_block_size must be positive")
         if self.batch_read_bytes <= 0:
             raise BudgetError("batch_read_bytes must be positive")
+        if self.scan_workers < 1:
+            raise BudgetError("scan_workers must be >= 1")
         if self.pm_budget_bytes is not None and self.pm_budget_bytes <= 0:
             raise BudgetError("pm_budget_bytes must be positive or None")
         if self.cache_budget_bytes is not None and self.cache_budget_bytes <= 0:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.cache import BinaryCache
 from repro.core.config import PostgresRawConfig
 from repro.core.fits_scan import RawFitsAccess
+from repro.core.parallel import ScanWorkerPool
 from repro.core.positional_map import PositionalMap
 from repro.core.prewarm import FsInterfacePrewarmer
 from repro.core.scan import RawCsvAccess
@@ -31,11 +32,28 @@ class PostgresRaw(Database):
         super().__init__(profile, vfs)
         self.config = config if config is not None else PostgresRawConfig()
         self.use_statistics = self.config.enable_statistics
+        #: one worker pool per engine (None when scans are serial):
+        #: every raw scan fans its streaming row-block groups out here,
+        #: so concurrently admitted queries overlap on the same workers
+        #: (see api/scheduler.py).
+        self.scan_pool = (ScanWorkerPool(self.config.scan_workers)
+                          if self.config.scan_workers > 1 else None)
 
     def stream_block_rows(self) -> int:
         """Streaming cursors buffer at the raw scan's block granularity
         (the unit of PM chunking, caching and batch emission)."""
         return self.config.row_block_size
+
+    def close(self) -> None:
+        """Release engine resources — currently the scan worker pool's
+        threads. Idempotent, and not terminal: the pool restarts lazily
+        if the engine is queried again, so this is safe to call
+        whenever a long-lived process is done with the engine. A query
+        still streaming a parallel scan when the pool shuts down fails
+        cleanly on its next fetch (ExecutionError, slot released) —
+        close when the engine is quiescent to avoid that."""
+        if self.scan_pool is not None:
+            self.scan_pool.close()
 
     # ------------------------------------------------------------------
     def register_csv(self, name: str, csv_path: str, schema: Schema,
@@ -64,7 +82,8 @@ class PostgresRaw(Database):
         info = TableInfo(name=name, schema=schema, kind=TableKind.RAW_CSV,
                          path=csv_path)
         info.access = RawCsvAccess(self.vfs, csv_path, schema, self.model,
-                                   config, info, positional_map, cache)
+                                   config, info, positional_map, cache,
+                                   pool=self.scan_pool)
         self.catalog.register(info)
         return info
 

@@ -41,6 +41,8 @@ from repro.storage.vfs import VirtualFS
 #: (group, block) — group is the ordered tuple of attribute indexes.
 ChunkKey = tuple[tuple[int, ...], int]
 
+_NO_POS = -1  # sentinel inside chunks: position unknown for this row
+
 
 class PositionalMap:
     """Adaptive positional map for one raw file."""
@@ -101,7 +103,7 @@ class PositionalMap:
         if (self._line_starts and offsets[0] <= self._line_starts[-1]) or \
                 (len(offsets) > 1 and (np.diff(offsets) <= 0).any()):
             raise StorageError("line starts must be strictly increasing")
-        self._line_starts.extend(int(o) for o in offsets)
+        self._line_starts.extend(offsets.tolist())
         self.model.map_insert(len(offsets))
 
     def set_file_length(self, length: int,
@@ -324,6 +326,57 @@ class PositionalMap:
     # ------------------------------------------------------------------
     # Introspection / maintenance
     # ------------------------------------------------------------------
+    def canonicalize_chunks(self) -> int:
+        """Regroup every block's vertical chunks into one canonical
+        chunk whose group is the block's *sorted* indexed-attribute
+        set — making the map layout independent of the flush order that
+        built it (interleaved cursors and parallel workloads group the
+        same positions differently depending on which query's flush
+        came first; after this pass two maps with the same content are
+        byte-identical). Run by the idle tuner (§7 auto-tuning); the
+        map's answers are unchanged, only the chunking is.
+
+        Charges ``map_access`` for the positions read and
+        ``map_insert`` for the rewritten chunks — honest maintenance
+        cost on the engine's clock, which is how the tuner's idle
+        budget bounds it. Returns the number of blocks rewritten.
+        """
+        rewritten = 0
+        for block in sorted(self._directory):
+            directory = self._directory.get(block)
+            if not directory:
+                continue
+            attrs = sorted(directory)
+            keys = {directory[attr][0] for attr in attrs}
+            if len(keys) == 1:
+                key = next(iter(keys))
+                if key[0] == tuple(attrs) and (key in self._chunks
+                                               or key in self._spilled):
+                    continue  # already canonical (in memory or spilled)
+            columns: dict[int, np.ndarray] = {}
+            nrows = 0
+            for attr in attrs:
+                col = self.positions(block, attr)
+                if col is not None:
+                    columns[attr] = col.copy()
+                    nrows = max(nrows, len(col))
+            for key in {directory[attr][0] for attr in list(directory)}:
+                old = self._chunks.pop(key, None)
+                if old is not None:
+                    self._chunk_bytes -= old.nbytes
+                self._spilled.pop(key, None)
+            del self._directory[block]
+            if not columns:
+                continue
+            group = sorted(columns)
+            matrix = np.full((nrows, len(group)), _NO_POS, dtype=np.int32)
+            for col_idx, attr in enumerate(group):
+                col = columns[attr]
+                matrix[:len(col), col_idx] = col
+            self.insert_chunk(tuple(group), block, matrix)
+            rewritten += 1
+        return rewritten
+
     @property
     def chunk_bytes(self) -> int:
         """Bytes held by in-memory attribute chunks (the budgeted part)."""

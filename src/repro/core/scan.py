@@ -161,7 +161,8 @@ class RawCsvAccess:
                  model: CostModel, config: PostgresRawConfig,
                  table_info: TableInfo,
                  positional_map: PositionalMap | None,
-                 cache: BinaryCache | None):
+                 cache: BinaryCache | None,
+                 pool=None):
         self.vfs = vfs
         self.path = path
         self.schema = schema
@@ -170,6 +171,9 @@ class RawCsvAccess:
         self.table_info = table_info
         self.pm = positional_map          # None only in Baseline mode
         self.cache = cache
+        #: engine-shared ScanWorkerPool for parallel chunk scans (None
+        #: when config.scan_workers == 1)
+        self.pool = pool
         self.dialect = config.dialect
         self.row_count: int | None = None
         self._seen_size = 0

@@ -25,22 +25,45 @@ that contract is the §4.2 incremental tokenization: spans are derived
 from the nearest known attribute per row — forward or backward,
 whichever is closer — exactly as the scalar ``_RowContext`` does, but
 with delimiter-index arithmetic instead of byte scanning.
+
+Parallel chunk scans (``config.scan_workers > 1``): the streaming
+region's row-block groups are *pure functions* of their byte slice, so
+they fan out across the engine's :class:`~repro.core.parallel.
+ScanWorkerPool`. Each group computes against a
+:class:`~repro.simcost.model.RecordingModel`, producing an ordered op
+log — cost charges interleaved (in exact serial charge order) with
+staged line-index / positional-map / cache / statistics operations —
+plus its output batch. The driver keeps reading ahead (its own read
+charges recorded the same way) and a single-threaded merge replays the
+logs in canonical group order against the real structures. Replay
+preserves the serial charge sequence bit-for-bit, so results, PM/cache
+contents, counters *and the clock's float accumulation order* are
+identical at any worker count; ``scan_workers=1`` runs the same
+compute+replay path inline with no pool. The only observable
+difference parallel mode can make is OS-page-cache residency left by
+read-ahead when a scan is abandoned mid-stream (and, under a
+capacity-limited page cache, LRU order) — never results, structures or
+completed-scan counters.
 """
 
 from __future__ import annotations
 
+import copy
 import datetime
+from collections import deque
+from concurrent.futures import CancelledError
 from typing import Iterator
 
 import numpy as np
 
-from repro.errors import CSVFormatError
+from repro.errors import CSVFormatError, ExecutionError
 from repro.formats.csvfmt import (
     BlockTokenizer,
     block_field_spans,
     block_span_forward,
     newline_offsets,
 )
+from repro.simcost.model import RecordingModel
 from repro.sql.batch import ColumnBatch
 
 _NO = -1  # unknown position sentinel (absolute-offset arrays)
@@ -84,10 +107,13 @@ class _Column:
     output). When typed assembly is impossible (NULLs, strings, mixed
     sources) the object array is the storage and ``typed`` is None.
     ``conv_idx``/``conv_values`` track the subset converted from the
-    raw file this query (the cache-write set)."""
+    raw file this query (the cache-write set); ``conv_typed`` is that
+    subset as a dtype-tagged array when the ``astype`` fast path
+    produced one — the cache's bulk insert consumes it directly, so
+    streaming groups can skip the object-list round-trip entirely."""
 
     __slots__ = ("n", "family", "nulls", "typed", "conv_idx",
-                 "conv_values", "_values", "_materialized")
+                 "conv_values", "conv_typed", "_values", "_materialized")
 
     def __init__(self, n: int, family: str = "?"):
         self.n = n
@@ -96,6 +122,7 @@ class _Column:
         self.typed: np.ndarray | None = None
         self.conv_idx: np.ndarray | None = None   # block-relative rows
         self.conv_values: list | None = None
+        self.conv_typed: np.ndarray | None = None
         self._values: np.ndarray | None = None
         #: rows actually holding data (None = all); typed slots outside
         #: this mask are garbage and must not be decoded
@@ -167,11 +194,16 @@ class BatchCsvScan:
     # ------------------------------------------------------------------
     def _convert_values(self, attr: int, buf, buf_base: int,
                         starts: np.ndarray, ends: np.ndarray,
-                        ) -> tuple[list, np.ndarray]:
+                        want_list: bool = True,
+                        ) -> tuple[list | None, np.ndarray]:
         """Convert the fields at ``starts``/``ends`` (absolute offsets
         into ``buf`` based at ``buf_base``) to binary values. Returns
         ``(values, typed_or_None)``; conversion cost is charged here,
-        one call per column slice."""
+        one call per column slice. ``want_list=False`` lets the caller
+        skip the object-list materialization when the typed fast path
+        succeeds (``values`` comes back None then) — consumers that
+        only need arrays (vector predicates, typed cache inserts) never
+        pay the per-row ``tolist`` walk."""
         n = len(starts)
         family = self._families[attr]
         self.model.convert(family, n)
@@ -202,7 +234,7 @@ class BatchCsvScan:
                 typed = _decode_numeric_column(buf_arr, rel_starts,
                                                rel_ends, np_dtype)
                 if typed is not None:
-                    return typed.tolist(), typed
+                    return (typed.tolist() if want_list else None), typed
         # Fallback / non-numeric: one tight per-field loop mirroring the
         # scalar ``_convert`` exactly (empty non-string -> NULL).
         values = []
@@ -511,7 +543,6 @@ class BatchCsvScan:
         track = pm is not None
         if access.row_count is not None and spanned >= access.row_count:
             return
-        model = self.model
         file_size = handle.size
 
         if track and pm.known_line_count > spanned:
@@ -528,6 +559,22 @@ class BatchCsvScan:
             access._finish_file(spanned)
             return
 
+        pool = (self.access.pool if self.config.scan_workers > 1
+                else None)
+        if pool is not None:
+            yield from self._stream_parallel(pool, file_size,
+                                             start_offset, spanned)
+        else:
+            yield from self._stream_serial(handle, file_size,
+                                           start_offset, spanned)
+
+    def _stream_serial(self, handle, file_size: int, start_offset: int,
+                       spanned: int) -> Iterator[ColumnBatch]:
+        """The single-threaded driver: read sequentially, discover
+        lines, run each row-block group inline (compute + replay)."""
+        pm = self.pm
+        track = pm is not None
+        model = self.model
         block_size = self.config.row_block_size
         handle.seek(start_offset)
         read_size = self.config.batch_read_bytes
@@ -545,51 +592,41 @@ class BatchCsvScan:
             chunk = handle.read_sequential(read_size)
             if not chunk:
                 eof = True
-                end_of_data = buffer_start + len(buffer)
-                carry_start = (int(pending_ends[-1][-1]) + 1 if pending
-                               else buffer_start)
-                if end_of_data > carry_start:
+                carry = self._eof_carry(buffer_start + len(buffer),
+                                        pending_ends, buffer_start)
+                if carry is not None:
                     # Unterminated last line: treat the carry as a line.
                     newline_terminated = False
-                    pending_starts.append(
-                        np.array([carry_start], dtype=np.int64))
-                    pending_ends.append(
-                        np.array([end_of_data], dtype=np.int64))
+                    pending_starts.append(carry[0])
+                    pending_ends.append(carry[1])
                     pending += 1
             else:
                 model.newline_scan(len(chunk))
                 chunk_base = buffer_start + len(buffer)
                 buffer += chunk
-                nls = newline_offsets(chunk) + chunk_base
-                if len(nls):
-                    line_ends = nls
-                    line_starts = np.empty_like(line_ends)
-                    # Starts: previous newline + 1; the first new line
-                    # begins after the last pending newline (or at the
-                    # head of the unconsumed buffer).
-                    line_starts[1:] = line_ends[:-1] + 1
-                    line_starts[0] = (int(pending_ends[-1][-1]) + 1
-                                      if pending else buffer_start)
-                    pending_starts.append(line_starts)
-                    pending_ends.append(line_ends)
-                    pending += len(nls)
+                lines = self._chunk_lines(chunk, chunk_base,
+                                          pending_ends, buffer_start)
+                if lines is not None:
+                    pending_starts.append(lines[0])
+                    pending_ends.append(lines[1])
+                    pending += len(lines[0])
 
             # Process complete row-blocks (or everything at EOF).
             while pending and (eof or
                                pending >= block_size - row % block_size):
                 take = min(pending, block_size - row % block_size)
-                starts_arr = np.concatenate(pending_starts)
-                ends_arr = np.concatenate(pending_ends)
-                group_starts = starts_arr[:take]
-                group_ends = ends_arr[:take]
-                rest_starts = starts_arr[take:]
-                rest_ends = ends_arr[take:]
-                pending_starts = [rest_starts] if len(rest_starts) else []
-                pending_ends = [rest_ends] if len(rest_ends) else []
+                group_starts, group_ends, pending_starts, pending_ends = \
+                    self._take_group(pending_starts, pending_ends, take)
                 pending -= take
 
-                batch = self._process_stream_group(
-                    row, group_starts, group_ends, buffer, buffer_start)
+                ops, batch, error = self._group_task(
+                    row, group_starts, group_ends,
+                    self._group_slice(buffer, buffer_start, group_starts,
+                                      group_ends),
+                    int(group_starts[0]))
+                self._apply_staged(ops)
+                if error is not None:
+                    raise error
                 row += take
                 # Drop consumed bytes from the buffer.
                 consumed = int(group_ends[-1]) + 1 - buffer_start
@@ -603,14 +640,251 @@ class BatchCsvScan:
         if track:
             pm.set_file_length(file_size,
                                newline_terminated=newline_terminated)
-        access.row_count = row
-        access._finish_file(row)
+        self.access.row_count = row
+        self.access._finish_file(row)
 
-    def _process_stream_group(self, row0: int, starts: np.ndarray,
-                              ends: np.ndarray, buffer: bytes,
-                              buffer_base: int) -> ColumnBatch | None:
-        """Process one group of freshly discovered lines — all within a
-        single row block — and flush its PM/cache contributions."""
+    def _stream_parallel(self, pool, file_size: int, start_offset: int,
+                         spanned: int) -> Iterator[ColumnBatch]:
+        """The fan-out driver: same read/group-formation loop as
+        :meth:`_stream_serial`, but groups compute on the worker pool
+        while the driver reads ahead, and a merge replays each entry of
+        the schedule — recorded read charges and completed groups'
+        op logs — in exact serial order. Yields happen at the merge, so
+        batch delivery order (and everything else observable through
+        the engine) is identical to the serial driver; in-flight
+        futures keep computing across yields, which is what lets
+        concurrently admitted queries overlap on the shared pool."""
+        config = self.config
+        access = self.access
+        pm = self.pm
+        track = pm is not None
+        block_size = config.row_block_size
+        read_size = config.batch_read_bytes
+
+        # Reads charge into a recorder so their cost replays in serial
+        # order even though the driver reads ahead of the merge.
+        read_rec = RecordingModel()
+        rhandle = access.vfs.open(access.path, read_rec, notify=False)
+        rhandle.seek(start_offset)
+
+        depth = 2 * pool.workers          # groups in flight (read-ahead bound)
+        schedule: deque = deque()         # ("r", ops) | ("g", future)
+        state = {"in_flight": 0, "row": spanned, "buffer": b"",
+                 "buffer_start": start_offset, "pending": 0, "eof": False,
+                 "newline_terminated": True}
+        pending_starts: list[np.ndarray] = []
+        pending_ends: list[np.ndarray] = []
+
+        def dispatch_groups() -> None:
+            while state["pending"] and (
+                    state["eof"] or state["pending"]
+                    >= block_size - state["row"] % block_size):
+                take = min(state["pending"],
+                           block_size - state["row"] % block_size)
+                group_starts, group_ends, rest_starts, rest_ends = \
+                    self._take_group(pending_starts, pending_ends, take)
+                pending_starts[:] = rest_starts
+                pending_ends[:] = rest_ends
+                state["pending"] -= take
+                group_buf = self._group_slice(
+                    state["buffer"], state["buffer_start"], group_starts,
+                    group_ends)
+                schedule.append(("g", pool.submit(
+                    self._group_task, state["row"], group_starts,
+                    group_ends, group_buf, int(group_starts[0]))))
+                state["in_flight"] += 1
+                state["row"] += take
+                consumed = int(group_ends[-1]) + 1 - state["buffer_start"]
+                consumed = min(consumed, len(state["buffer"]))
+                if consumed > 0:
+                    state["buffer"] = state["buffer"][consumed:]
+                    state["buffer_start"] += consumed
+
+        def read_more() -> None:
+            chunk = rhandle.read_sequential(read_size)
+            if not chunk:
+                state["eof"] = True
+                carry = self._eof_carry(
+                    state["buffer_start"] + len(state["buffer"]),
+                    pending_ends, state["buffer_start"])
+                if carry is not None:
+                    state["newline_terminated"] = False
+                    pending_starts.append(carry[0])
+                    pending_ends.append(carry[1])
+                    state["pending"] += 1
+            else:
+                read_rec.newline_scan(len(chunk))
+                chunk_base = state["buffer_start"] + len(state["buffer"])
+                state["buffer"] += chunk
+                lines = self._chunk_lines(chunk, chunk_base, pending_ends,
+                                          state["buffer_start"])
+                if lines is not None:
+                    pending_starts.append(lines[0])
+                    pending_ends.append(lines[1])
+                    state["pending"] += len(lines[0])
+            ops = read_rec.take_ops()
+            if ops:
+                schedule.append(("r", ops))
+            dispatch_groups()
+
+        try:
+            while True:
+                while not state["eof"] and state["in_flight"] < depth:
+                    read_more()
+                if not schedule:
+                    break
+                kind, payload = schedule.popleft()
+                if kind == "r":
+                    self._apply_staged(payload)
+                    continue
+                try:
+                    ops, batch, error = payload.result()
+                except CancelledError:
+                    # CancelledError is a BaseException and would
+                    # escape the scheduler's error containment,
+                    # leaking the job's admission slot.
+                    raise ExecutionError(
+                        "scan worker pool was shut down while this "
+                        "parallel scan was streaming (engine.close() "
+                        "during a live query); re-run the query"
+                    ) from None
+                state["in_flight"] -= 1
+                self._apply_staged(ops)
+                if error is not None:
+                    raise error
+                if batch is not None:
+                    yield batch
+        finally:
+            # Abandoned scan (or an error raised above): drop the
+            # unmerged tail. Their staged deltas are never applied, so
+            # structures hold exactly the merged prefix — as after an
+            # abandoned serial scan at the same batch boundary.
+            for kind, payload in schedule:
+                if kind == "g":
+                    payload.cancel()
+
+        if track:
+            pm.set_file_length(
+                file_size,
+                newline_terminated=state["newline_terminated"])
+        access.row_count = state["row"]
+        access._finish_file(state["row"])
+
+    # -- shared read-loop arithmetic (both drivers must stay in
+    #    lockstep; the subtle index derivations live only here) --------
+    @staticmethod
+    def _chunk_lines(chunk: bytes, chunk_base: int,
+                     pending_ends: list, buffer_start: int):
+        """Line spans completed by one freshly read chunk: newline
+        discovery plus start derivation — the first new line begins
+        after the last pending newline, or at the head of the
+        unconsumed buffer. Returns ``(starts, ends)`` or None when the
+        chunk closed no line."""
+        nls = newline_offsets(chunk) + chunk_base
+        if not len(nls):
+            return None
+        line_ends = nls
+        line_starts = np.empty_like(line_ends)
+        line_starts[1:] = line_ends[:-1] + 1
+        line_starts[0] = (int(pending_ends[-1][-1]) + 1 if pending_ends
+                          else buffer_start)
+        return line_starts, line_ends
+
+    @staticmethod
+    def _eof_carry(end_of_data: int, pending_ends: list,
+                   buffer_start: int):
+        """Unterminated-last-line carry at EOF: single-line
+        ``(starts, ends)`` arrays, or None when the data ends exactly
+        at a newline."""
+        carry_start = (int(pending_ends[-1][-1]) + 1 if pending_ends
+                       else buffer_start)
+        if end_of_data <= carry_start:
+            return None
+        return (np.array([carry_start], dtype=np.int64),
+                np.array([end_of_data], dtype=np.int64))
+
+    @staticmethod
+    def _take_group(pending_starts: list, pending_ends: list, take: int):
+        """Split the first ``take`` pending lines off as one group.
+        Returns ``(group_starts, group_ends, rest_starts, rest_ends)``
+        with the rests already re-wrapped as pending lists."""
+        starts_arr = np.concatenate(pending_starts)
+        ends_arr = np.concatenate(pending_ends)
+        rest_starts = starts_arr[take:]
+        rest_ends = ends_arr[take:]
+        return (starts_arr[:take], ends_arr[:take],
+                [rest_starts] if len(rest_starts) else [],
+                [rest_ends] if len(rest_ends) else [])
+
+    @staticmethod
+    def _group_slice(buffer: bytes, buffer_start: int,
+                     starts: np.ndarray, ends: np.ndarray) -> bytes:
+        """The byte window covering one group's lines. Workers tokenize
+        their private slice; delimiter/boundary lookups are clipped per
+        line, so spans for in-group lines are identical to tokenizing
+        the whole buffer."""
+        return buffer[int(starts[0]) - buffer_start:
+                      int(ends[-1]) - buffer_start]
+
+    def _group_task(self, row0: int, starts: np.ndarray,
+                    ends: np.ndarray, buffer: bytes, buffer_base: int):
+        """One pool task: compute a streaming group against a recording
+        model. Returns ``(ops, batch, error)``; never raises, so the
+        merge can replay the charges recorded before a failure (exactly
+        what the serial path would have charged) and then re-raise in
+        canonical order. Runs on worker threads: touches no shared
+        engine state, only its private byte slice and the recorder."""
+        recorder = RecordingModel()
+        view = copy.copy(self)
+        view.model = recorder
+        try:
+            batch = view._compute_stream_group(recorder.ops, row0, starts,
+                                               ends, buffer, buffer_base)
+            return recorder.ops, batch, None
+        except Exception as exc:  # replayed + re-raised by the merge
+            return recorder.ops, None, exc
+
+    # ------------------------------------------------------------------
+    # Staged-op merge (single-threaded, canonical group order)
+    # ------------------------------------------------------------------
+    def _apply_staged(self, ops: list) -> None:
+        """Replay one op log against the real model and structures.
+
+        Entries are ``("c", event, units)`` charges and the staged
+        structural operations, in the exact order the serial path
+        would have performed them — so the clock, the positional map,
+        the cache and the statistics reservoirs evolve identically."""
+        model = self.model
+        for op in ops:
+            tag = op[0]
+            if tag == "c":
+                model.charge(op[1], op[2])
+            elif tag == "lines":
+                _, starts, row0, n = op
+                known = self.pm.known_line_count
+                if row0 + n > known:
+                    self.pm.append_line_starts(
+                        starts[max(0, known - row0):])
+            elif tag == "collect":
+                collector = self.collector
+                for row_values in op[1]:
+                    collector.add_row(row_values)
+            elif tag == "pm":
+                self._merge_stream_positions(op[1], op[2], op[3])
+            else:  # "cache"
+                _, attr, block, rows_in_block, idx, values, typed, \
+                    family = op
+                self.cache.put_column(attr, block, rows_in_block, idx,
+                                      values, family, typed_values=typed)
+
+    def _compute_stream_group(self, ops: list, row0: int,
+                              starts: np.ndarray, ends: np.ndarray,
+                              buffer: bytes, buffer_base: int,
+                              ) -> ColumnBatch | None:
+        """Compute one group of freshly discovered lines — all within a
+        single row block — staging its PM/cache/stats contributions
+        into ``ops`` (shared with ``self.model``'s charge recorder)
+        instead of touching the shared structures."""
         model = self.model
         pm = self.pm
         config = self.config
@@ -620,12 +894,10 @@ class BatchCsvScan:
         first_in_block = row0 - block * block_size
         model.tuple_overhead(n)
 
-        # Line index: record newly discovered line starts in bulk.
+        # Line index: stage the bulk append (the merge trims the prefix
+        # an earlier group already recorded).
         if pm is not None:
-            known = pm.known_line_count
-            if row0 + n > known:
-                fresh = starts[max(0, known - row0):]
-                pm.append_line_starts(fresh)
+            ops.append(("lines", starts, row0, n))
 
         out_attrs = self.out_attrs
         where_attrs = self.where_attrs
@@ -653,9 +925,11 @@ class BatchCsvScan:
                 column = _Column(n, self._families[attr])
                 values, typed = self._convert_values(
                     attr, buffer, buffer_base,
-                    span_starts[:, attr], span_ends[:, attr])
+                    span_starts[:, attr], span_ends[:, attr],
+                    want_list=False)
                 column.conv_idx = np.arange(n)
                 column.conv_values = values
+                column.conv_typed = typed
                 if typed is not None:
                     column.typed = typed
                 else:
@@ -720,14 +994,20 @@ class BatchCsvScan:
             else:
                 s_col = sel_starts[:, attr - upto_w]
                 e_col = sel_ends[:, attr - upto_w]
+            # Object values are only needed when the stats collector
+            # will sample them; the typed cache insert and the output
+            # batch consume the array directly.
             values, sub_typed = self._convert_values(
-                attr, buffer, buffer_base, s_col, e_col)
+                attr, buffer, buffer_base, s_col, e_col,
+                want_list=self.collector is not None)
             column = _Column(n, self._families[attr])
-            arr = np.empty(n, dtype=object)
-            arr[qual_idx] = values
-            column.set_values(arr)
+            if values is not None:
+                arr = np.empty(n, dtype=object)
+                arr[qual_idx] = values
+                column.set_values(arr)
             column.conv_idx = qual_idx
             column.conv_values = values
+            column.conv_typed = sub_typed
             columns[attr] = column
             if sub_typed is not None and self._families[attr] != "date":
                 out_columns.append(sub_typed)
@@ -737,15 +1017,18 @@ class BatchCsvScan:
         model.tuple_form(len(out_attrs) * nqual)
 
         if self.collector is not None:
-            self._collect_stream_stats(columns, qual, n)
+            ops.append(("collect",
+                        self._stage_stream_stats(columns, qual, n)))
 
-        # -- flush: positional map chunk, then cache chunks
+        # -- stage flushes: positional map chunk, then cache chunks
         if config.enable_positional_map and pm is not None:
             rows_in_block = first_in_block + n
-            self._flush_stream_positions(
+            staged = self._stage_stream_positions(
                 block, rows_in_block, first_in_block, n, starts, ends,
                 qual, span_starts, span_ends, sel_starts, upto_w,
                 max_where, coverage_w)
+            if staged is not None:
+                ops.append(staged)
         if self.cache is not None:
             rows_in_block = first_in_block + n
             for attr in union_attrs:
@@ -753,10 +1036,10 @@ class BatchCsvScan:
                 if column is None or column.conv_idx is None or \
                         not len(column.conv_idx):
                     continue
-                self.cache.put_column(
-                    attr, block, rows_in_block,
-                    column.conv_idx + first_in_block,
-                    column.conv_values, self._families[attr])
+                ops.append(("cache", attr, block, rows_in_block,
+                            column.conv_idx + first_in_block,
+                            column.conv_values, column.conv_typed,
+                            self._families[attr]))
         if nqual == 0 and out_attrs:
             return ColumnBatch([[] for _ in out_attrs], 0)
         return ColumnBatch(out_columns, nqual, out_nulls)
@@ -784,14 +1067,15 @@ class BatchCsvScan:
         if total:
             self.model.tokenize(total)
 
-    def _collect_stream_stats(self, columns: dict[int, _Column],
-                              qual: np.ndarray, n: int) -> None:
-        """One add per row in file order: WHERE values for failing rows,
-        WHERE + SELECT values for qualifying ones — the scalar
-        streaming sampling order."""
-        collector = self.collector
+    def _stage_stream_stats(self, columns: dict[int, _Column],
+                            qual: np.ndarray, n: int) -> list[dict]:
+        """One sample dict per row in file order: WHERE values for
+        failing rows, WHERE + SELECT values for qualifying ones — the
+        scalar streaming sampling order. The merge feeds them to the
+        collector, so the reservoir RNG sees the serial sequence."""
         where_attrs = self.where_attrs
         out_attrs = self.out_attrs
+        staged = []
         for i in range(n):
             row_values = {}
             for attr in where_attrs:
@@ -800,15 +1084,17 @@ class BatchCsvScan:
                 for attr in out_attrs:
                     if attr not in row_values:
                         row_values[attr] = columns[attr].values[i]
-            collector.add_row(row_values)
+            staged.append(row_values)
+        return staged
 
-    def _flush_stream_positions(self, block, rows_in_block, first_in_block,
+    def _stage_stream_positions(self, block, rows_in_block, first_in_block,
                                 n, line_starts, line_ends, qual,
                                 span_starts, span_ends, sel_starts,
-                                upto_w, max_where, coverage_w) -> None:
+                                upto_w, max_where, coverage_w):
         """Build the block's discovered-position matrix (relative
-        offsets, _NO_POS holes) and insert it as one chunk, merging with
-        whatever a previous partial scan already recorded.
+        offsets, _NO_POS holes) as a staged ``("pm", ...)`` op; the
+        merge combines it with whatever a previous group or partial
+        scan already recorded and inserts it as one chunk.
 
         Failing rows record starts for attributes up to ``coverage_w``
         — the locate-state machine's ``M`` after the WHERE phase, which
@@ -841,13 +1127,20 @@ class BatchCsvScan:
             if (column != _NO_POS).any():
                 discovered[attr] = column
         if not discovered:
-            return
+            return None
         attrs = sorted(discovered)
         matrix = np.full((rows_in_block, len(attrs)), _NO_POS,
                          dtype=np.int32)
         for col, attr in enumerate(attrs):
             matrix[first_in_block:, col] = discovered[attr]
-        # Merge with what the map already knows for this block.
+        return ("pm", block, attrs, matrix)
+
+    def _merge_stream_positions(self, block: int, attrs: list[int],
+                                matrix: np.ndarray) -> None:
+        """Merge a staged position matrix with what the map already
+        knows for this block (an earlier group of the same block, or a
+        previous partial scan) and insert it as one chunk."""
+        rows_in_block = matrix.shape[0]
         for col, attr in enumerate(attrs):
             existing = self.pm.positions(block, attr)
             if existing is None:

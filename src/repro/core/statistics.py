@@ -64,8 +64,10 @@ class StatsCollector:
 
     def finalize(self, table_stats: TableStats, row_count: int) -> TableStats:
         """Fold the samples into ``table_stats`` (augmenting, not
-        replacing, stats of attributes this scan did not touch)."""
-        table_stats.row_count = row_count
+        replacing, stats of attributes this scan did not touch).
+        Mutations bump ``table_stats.version`` — the signal prepared
+        statements use to re-plan on stats arrival."""
+        table_stats.set_row_count(row_count)
         for attr, sampler in self._samplers.items():
             if sampler.seen == 0:
                 continue

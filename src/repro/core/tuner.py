@@ -11,6 +11,15 @@ per-attribute request counts the scans record (plus explicit hints),
 and :meth:`exploit_idle_time` spends a virtual-seconds budget warming
 the most valuable attributes — populating the positional map, the
 binary cache and statistics — stopping when the budget runs out.
+
+:meth:`regroup_maps` is the second idle-time chore: canonical
+positional-map chunk regrouping. Chunk *grouping* records which
+query's flush first combined the attributes, so interleaved or
+parallel workloads leave flush-order-dependent layouts even when the
+map *content* is identical; regrouping rewrites every block to one
+sorted-attribute chunk, making layouts converge regardless of
+workload order (and letting differential harnesses compare maps
+byte-for-byte after any interleaving).
 """
 
 from __future__ import annotations
@@ -102,6 +111,24 @@ class IdleTuner:
         report.exhausted_budget = (report.exhausted_budget
                                    or report.seconds_used >= budget_seconds)
         return report
+
+    def regroup_maps(self, table: str | None = None) -> int:
+        """Canonicalize positional-map chunk groups (all tables, or
+        just ``table``): each indexed block ends up as one chunk keyed
+        by its sorted attribute set, so maps built by differently
+        interleaved workloads become byte-identical. Content is
+        untouched; the rewrite is charged to the engine's clock as map
+        maintenance. Returns the number of blocks rewritten."""
+        if table is not None:
+            infos = [self.engine.catalog.get(table)]
+        else:
+            infos = self.engine.catalog.tables()
+        rewritten = 0
+        for info in infos:
+            positional_map = getattr(info.access, "pm", None)
+            if positional_map is not None:
+                rewritten += positional_map.canonicalize_chunks()
+        return rewritten
 
     def _fully_warm(self, access, attr: int) -> bool:
         """Is this attribute already answerable from the cache alone?"""

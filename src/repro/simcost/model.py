@@ -17,6 +17,12 @@ sometimes re-scans a field it already delimited, while the batch path
 charges each byte span once — so warm partial-coverage scans may
 charge slightly fewer tokenize units in batch mode (never more work,
 and zero in both modes once the map covers the query).
+
+Parallel chunk scans keep the convention exact: workers charge into
+:class:`RecordingModel` op logs that the scan's single-threaded merge
+replays against the real model in serial charge order, so counters —
+and the clock's float accumulation — are independent of
+``scan_workers``.
 """
 
 from __future__ import annotations
@@ -152,3 +158,39 @@ class CostModel:
 
     def count(self, event: CostEvent) -> float:
         return self.clock.count(event)
+
+
+class RecordingModel(CostModel):
+    """A cost model that records charges instead of advancing a clock.
+
+    The parallel chunk-scan pipeline (:mod:`repro.core.scan_batch`)
+    hands one of these to each worker: the worker's tokenize / convert /
+    predicate work charges into an ordered op log (``ops``), and the
+    single-threaded merge replays that log into the engine's real model
+    in canonical group order — so the clock's float accumulation order,
+    and therefore virtual time, is *bit-identical* to the serial scan
+    regardless of worker count. Because the replay happens inside the
+    owning query's batch pull, the scheduler's per-job counter-delta
+    accounting attributes every worker's units to the right query with
+    no extra bookkeeping.
+
+    The op log is shared with the worker's structural staging: entries
+    are ``("c", event, units)`` charge records interleaved (in exact
+    serial charge order) with the staged positional-map / cache /
+    statistics operations the merge applies against the shared
+    structures (see ``scan_batch._apply_staged``).
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.ops: list = []
+
+    def charge(self, event: CostEvent, units: float = 1) -> None:
+        self.ops.append(("c", event, units))
+
+    def take_ops(self) -> list:
+        """Drain and return the recorded ops (used by the scan driver
+        to snapshot one read's charges into the merge schedule)."""
+        ops = self.ops
+        self.ops = []
+        return ops

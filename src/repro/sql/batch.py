@@ -17,6 +17,12 @@ aggregation, gather-based joins, argsort ordering). Everything else
 consumes the :meth:`iter_rows` shim — which materializes plain Python
 tuples — so a batch-producing subtree composes with the Volcano-style
 row operators unchanged.
+
+Batch streams follow the scan API's ordered delivery contract
+(:mod:`repro.sql.scanapi`): file order, always — parallel chunk scans
+merge their out-of-order worker results back into sequence before a
+batch ever reaches an operator, so everything downstream of the scan is
+oblivious to ``scan_workers``.
 """
 
 from __future__ import annotations

@@ -114,12 +114,20 @@ class TableInfo:
     row_count_hint: int | None = None
     extra: dict = field(default_factory=dict)
 
+    @property
+    def stats_epoch(self) -> int:
+        """Version of this table's statistics (0 = none yet). Moves
+        whenever a scan's §4.4 collection — or a loaded engine's
+        ANALYZE — installs or augments stats."""
+        return self.stats.version if self.stats is not None else 0
+
 
 class Catalog:
     """Case-insensitive table namespace for one engine."""
 
     def __init__(self):
         self._tables: dict[str, TableInfo] = {}
+        self._retired_stats_epoch = 0
 
     def register(self, info: TableInfo) -> TableInfo:
         key = info.name.lower()
@@ -132,6 +140,11 @@ class Catalog:
         key = name.lower()
         if key not in self._tables:
             raise CatalogError(f"unknown table: {name!r}")
+        # Retire the dropped table's stats version so the catalog epoch
+        # stays monotone — otherwise later arrivals on other tables
+        # could sum back to a previously seen epoch and a stale
+        # prepared plan would miss its re-plan.
+        self._retired_stats_epoch += self._tables[key].stats_epoch
         del self._tables[key]
 
     def get(self, name: str) -> TableInfo:
@@ -145,6 +158,18 @@ class Catalog:
 
     def tables(self) -> list[TableInfo]:
         return list(self._tables.values())
+
+    @property
+    def stats_epoch(self) -> int:
+        """Catalog-wide statistics epoch: changes whenever any table's
+        statistics change (PostgresRaw collects them adaptively during
+        scans, §4.4 — i.e. *after* plans may already be cached).
+        Prepared statements snapshot this at plan time and re-plan when
+        it moves, so optimizer decisions frozen before statistics
+        existed are revisited once they arrive. Monotone: dropped
+        tables' versions are retired into a floor, never subtracted."""
+        return self._retired_stats_epoch + sum(
+            info.stats_epoch for info in self._tables.values())
 
     def __contains__(self, name: str) -> bool:
         return self.has(name)

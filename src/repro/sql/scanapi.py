@@ -47,12 +47,29 @@ class AccessMethod(Protocol):
     Implementations: RawCsvAccess (in-situ, §4), HeapAccess (loaded
     binary pages), ExternalAccess (external-files straw-man),
     RawFitsAccess (§5.3).
+
+    Batch-capable access methods additionally expose ``scan_batches``
+    (duck-typed — see ``ScanOp.supports_batches``) with the **ordered
+    delivery contract**: batches arrive in file order, carrying rows in
+    file order, regardless of how the scan is executed internally. In
+    particular PostgresRaw's parallel chunk scans compute row-block
+    groups out of order on a worker pool, but the merge yields them —
+    and applies their positional-map/cache/statistics effects — in
+    canonical group order, so the operator tree above never observes
+    the fan-out.
     """
 
     def scan(self, needed: Sequence[int],
              predicate: ScanPredicate | None) -> Iterator[tuple]:
         """Yield tuples of the values of ``needed`` attributes (in that
         order) for every row passing ``predicate``."""
+        ...
+
+    def scan_batches(self, needed: Sequence[int],
+                     predicate: ScanPredicate | None):
+        """Yield :class:`~repro.sql.batch.ColumnBatch` blocks under the
+        ordered delivery contract (optional — row-only access methods
+        simply omit it and the plan leaf falls back to ``scan``)."""
         ...
 
     def estimated_rows(self) -> int | None:

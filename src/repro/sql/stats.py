@@ -162,16 +162,31 @@ class TableStats:
     For PostgresRaw, ``columns`` only contains attributes some query has
     requested so far — "statistics are incrementally augmented to
     represent bigger subsets of the data" (§4.4).
+
+    ``version`` counts mutations (column stats installed or row count
+    learned). Because PostgresRaw collects statistics *during* scans —
+    i.e. after a prepared statement froze its plan — the catalog
+    aggregates these versions into a stats epoch that prepared
+    statements watch to know when a cached plan went stale.
     """
 
     row_count: int = 0
     columns: dict[str, ColumnStats] = field(default_factory=dict)
+    version: int = 0
 
     def column(self, name: str) -> ColumnStats | None:
         return self.columns.get(name.lower())
 
     def set_column(self, stats: ColumnStats) -> None:
         self.columns[stats.name.lower()] = stats
+        self.version += 1
+
+    def set_row_count(self, row_count: int) -> None:
+        """Install the (possibly newly learned) row count, bumping the
+        version only when it actually changed."""
+        if row_count != self.row_count:
+            self.row_count = row_count
+            self.version += 1
 
     def has_column(self, name: str) -> bool:
         return name.lower() in self.columns

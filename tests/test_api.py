@@ -197,6 +197,61 @@ class TestPreparedStatements:
         assert s.stats["statement_cache_hits"] == 0
         assert s.stats["parses"] == 2
 
+    def test_replan_on_stats_arrival(self, session):
+        """§4.4 statistics are collected *during* the first execution —
+        after the plan was frozen at prepare time. The statement must
+        notice the catalog stats epoch moving and transparently
+        re-plan (no re-parse, no query_overhead) exactly once."""
+        engine = session.engine
+        stmt = session.prepare("SELECT name FROM people WHERE id = ?")
+        epoch_at_prepare = stmt.stats_epoch
+        assert session.stats["replans"] == 0
+        assert stmt.execute((1,)).fetchall() == [("alice",)]
+        # The scan installed stats for id/name: the epoch moved.
+        assert engine.catalog.stats_epoch > epoch_at_prepare
+        overhead_before = engine.clock.counters.get(
+            CostEvent.QUERY_OVERHEAD, 0)
+        parses_before = session.stats["parses"]
+        assert stmt.execute((2,)).fetchall() == [("bob",)]
+        assert session.stats["replans"] == 1
+        assert stmt.stats_epoch == engine.catalog.stats_epoch
+        # Re-plan is not a re-prepare: no parse, no per-query overhead.
+        assert session.stats["parses"] == parses_before
+        assert engine.clock.counters.get(CostEvent.QUERY_OVERHEAD, 0) \
+            == overhead_before
+        # Stable epoch => no further re-plans.
+        assert stmt.execute((3,)).fetchall() == [("carol",)]
+        assert session.stats["replans"] == 1
+
+    def test_replan_updates_cached_plan_for_explain(self, session):
+        stmt = session.prepare("EXPLAIN SELECT count(*) FROM people "
+                               "WHERE age > 30")
+        stmt.execute(()).fetchall()
+        # Execute the underlying shape so statistics arrive.
+        session.query("SELECT count(*) FROM people WHERE age > 30")
+        replans_before = session.stats["replans"]
+        stmt.execute(()).fetchall()
+        assert session.stats["replans"] == replans_before + 1
+
+    def test_statement_cache_replan_is_transparent(self, session):
+        """String-SQL execution through the statement cache re-plans
+        too, and keeps returning correct rows."""
+        sql = "SELECT name FROM people WHERE age >= ?"
+        first = session.execute(sql, (30,)).fetchall()
+        assert session.execute(sql, (30,)).fetchall() == first
+        assert session.stats["replans"] >= 1
+
+    def test_stats_epoch_monotone_across_table_drop(self, session):
+        """Dropping a table must not lower the catalog epoch — later
+        stats arrivals could otherwise sum back to a seen value and a
+        stale plan would silently skip its re-plan."""
+        catalog = session.engine.catalog
+        session.query("SELECT id, name FROM people")  # install stats
+        before_drop = catalog.stats_epoch
+        assert before_drop > 0
+        catalog.drop("people")
+        assert catalog.stats_epoch == before_drop
+
     def test_fully_consumed_result_allows_immediate_rebind(self, session):
         """The module-docstring pattern: an aggregate's single row is
         fetched, which drains the stream — the probe finishes the job

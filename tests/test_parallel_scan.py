@@ -1,0 +1,439 @@
+"""Parallel chunk scans: determinism, accounting, and the regroup pass.
+
+The contract under test (the PR's acceptance bar): for any workload,
+``scan_workers ∈ {1, 2, 4}`` produce
+
+* identical result *sequences* (not just sets — ordered delivery),
+* byte-identical positional-map and binary-cache structure dumps,
+* identical simcost counters (exact equality, floats included) and
+  identical virtual clock time (same float accumulation order).
+
+Workers compute row-block groups against recording models; the merge
+replays the op logs in canonical group order — so everything observable
+through the engine is independent of the worker count. The structure
+dump comparators are reused from the PR 1 differential harness.
+
+Also covered here: the scheduler's worker overlap accounting
+(``QueryJob.worker_tasks``), error-path determinism, abandoned-scan
+cleanup, and the idle tuner's canonical PM chunk regrouping satellite
+(flush-order-independent layouts).
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro import (
+    INTEGER,
+    IdleTuner,
+    PostgresRaw,
+    PostgresRawConfig,
+    Schema,
+    VirtualFS,
+)
+from repro.workloads.micro import generate_micro_csv
+
+from test_batch_differential import (
+    cache_dump,
+    pm_dump,
+    random_query,
+    random_schema,
+    random_table,
+)
+from repro.formats.csvfmt import write_csv
+
+
+def engine_with_workers(schema, payload: bytes, workers: int,
+                        block_size: int = 16,
+                        **config_kwargs) -> PostgresRaw:
+    vfs = VirtualFS()
+    vfs.create("t.csv", payload)
+    engine = PostgresRaw(
+        config=PostgresRawConfig(row_block_size=block_size,
+                                 scan_workers=workers, **config_kwargs),
+        vfs=vfs)
+    engine.register_csv("t", "t.csv", schema)
+    return engine
+
+
+def full_state(engine, table="t"):
+    """Everything the determinism contract covers, in one snapshot."""
+    return {
+        "pm": pm_dump(engine.positional_map_of(table)),
+        "cache": cache_dump(engine.cache_of(table)),
+        "counters": engine.counters(),
+        "clock": engine.clock.now(),
+    }
+
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_workloads_identical_across_worker_counts(self, seed):
+        """Result sequences, PM/cache dumps, counters and the clock
+        itself must be independent of scan_workers."""
+        rng = random.Random(61000 + seed)
+        schema = random_schema(rng)
+        payload = write_csv(random_table(rng, schema))
+        block_size = rng.choice([1, 3, 8, 17, 64])
+        queries = [random_query(rng, schema) for _ in range(5)]
+
+        engines = {w: engine_with_workers(schema, payload, w, block_size)
+                   for w in WORKER_COUNTS}
+        for sql in queries:
+            results = {w: engines[w].query(sql) for w in WORKER_COUNTS}
+            for w in WORKER_COUNTS[1:]:
+                # Exact sequence equality: ordered delivery, not sets.
+                assert results[w].rows == results[1].rows, \
+                    f"seed={seed} workers={w}: {sql!r}"
+                assert results[w].counters == results[1].counters, \
+                    f"seed={seed} workers={w}: {sql!r}"
+            states = {w: full_state(engines[w]) for w in WORKER_COUNTS}
+            for w in WORKER_COUNTS[1:]:
+                assert states[w] == states[1], \
+                    f"seed={seed} workers={w} diverged after {sql!r}"
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(enable_cache=False),
+        dict(enable_positional_map=False),
+        dict(enable_statistics=False),
+        dict(enable_cache=False, enable_statistics=False),
+    ])
+    def test_feature_ablations_stay_deterministic(self, kwargs):
+        rng = random.Random(4711)
+        schema = random_schema(rng)
+        payload = write_csv(random_table(rng, schema))
+        engines = {w: engine_with_workers(schema, payload, w, 8, **kwargs)
+                   for w in WORKER_COUNTS}
+        for sql in [random_query(rng, schema) for _ in range(4)]:
+            results = {w: engines[w].query(sql) for w in WORKER_COUNTS}
+            for w in WORKER_COUNTS[1:]:
+                assert results[w].rows == results[1].rows, sql
+                assert full_state(engines[w]) == full_state(engines[1])
+
+    def test_budgeted_structures_identical(self):
+        """Eviction order under PM/cache budgets depends on insert
+        order — which the merge keeps canonical."""
+        rng = random.Random(99)
+        schema = random_schema(rng)
+        payload = write_csv(random_table(rng, schema) * 3)
+        engines = {
+            w: engine_with_workers(schema, payload, w, 8,
+                                   pm_budget_bytes=2048,
+                                   cache_budget_bytes=4096)
+            for w in WORKER_COUNTS
+        }
+        for sql in [random_query(rng, schema) for _ in range(4)]:
+            for w in WORKER_COUNTS:
+                engines[w].query(sql)
+            for w in WORKER_COUNTS[1:]:
+                assert full_state(engines[w]) == full_state(engines[1])
+
+    def test_prepared_statements_and_streaming_cursors(self):
+        vfs1, vfs4 = VirtualFS(), VirtualFS()
+        schema = generate_micro_csv(vfs1, "m.csv", rows=500, nattrs=6,
+                                    seed=7)
+        generate_micro_csv(vfs4, "m.csv", rows=500, nattrs=6, seed=7)
+        engines = {}
+        for workers, vfs in ((1, vfs1), (4, vfs4)):
+            engine = PostgresRaw(config=PostgresRawConfig(
+                row_block_size=64, scan_workers=workers), vfs=vfs)
+            engine.register_csv("m", "m.csv", schema)
+            engines[workers] = engine
+        rows = {}
+        for workers, engine in engines.items():
+            session = repro.connect(engine=engine)
+            stmt = session.prepare("SELECT a1, a3 FROM m WHERE a2 < ?")
+            got = []
+            cursor = stmt.execute((600_000_000,))
+            while True:
+                chunk = cursor.fetchmany(37)
+                if not chunk:
+                    break
+                got.extend(chunk)
+            got.append(tuple(stmt.execute((100_000_000,)).fetchall()))
+            rows[workers] = got
+        assert rows[4] == rows[1]
+        assert full_state(engines[4], "m") == full_state(engines[1], "m")
+
+    def test_malformed_csv_raises_identically(self):
+        """A short line must fail with the same error, after the same
+        charges, at any worker count (the merge replays a failed
+        group's recorded charges before re-raising in order)."""
+        schema = Schema([("c0", INTEGER), ("c1", INTEGER),
+                         ("c2", INTEGER)])
+        rows = [[str(i), str(i * 2), str(i * 3)] for i in range(30)]
+        payload = write_csv(rows)[:-1] + b"\n5,6\n"  # short final line
+        outcomes = {}
+        for workers in WORKER_COUNTS:
+            engine = engine_with_workers(schema, payload, workers, 8)
+            with pytest.raises(repro.errors.CSVFormatError) as info:
+                engine.query("SELECT c2 FROM t")
+            outcomes[workers] = (str(info.value), engine.counters(),
+                                 engine.clock.now())
+        assert outcomes[2] == outcomes[1]
+        assert outcomes[4] == outcomes[1]
+
+    def test_abandoned_scan_leaves_merged_prefix_only(self):
+        """Closing a cursor mid-stream cancels the unmerged tail; the
+        structures hold exactly the merged prefix, and a following full
+        scan converges to the serial engine's state."""
+        vfs1, vfs4 = VirtualFS(), VirtualFS()
+        schema = generate_micro_csv(vfs1, "m.csv", rows=400, nattrs=5,
+                                    seed=11)
+        generate_micro_csv(vfs4, "m.csv", rows=400, nattrs=5, seed=11)
+        engines = {}
+        for workers, vfs in ((1, vfs1), (4, vfs4)):
+            engine = PostgresRaw(config=PostgresRawConfig(
+                row_block_size=32, scan_workers=workers), vfs=vfs)
+            engine.register_csv("m", "m.csv", schema)
+            engines[workers] = engine
+            session = repro.connect(engine=engine)
+            cursor = session.execute("SELECT a1 FROM m WHERE a2 > 0")
+            assert len(cursor.fetchmany(70)) == 70
+            cursor.close()
+        assert pm_dump(engines[4].positional_map_of("m")) == \
+            pm_dump(engines[1].positional_map_of("m"))
+        assert cache_dump(engines[4].cache_of("m")) == \
+            cache_dump(engines[1].cache_of("m"))
+        rows = {w: engines[w].query("SELECT a1, a4 FROM m").rows
+                for w in (1, 4)}
+        assert rows[4] == rows[1]
+        assert pm_dump(engines[4].positional_map_of("m")) == \
+            pm_dump(engines[1].positional_map_of("m"))
+        assert cache_dump(engines[4].cache_of("m")) == \
+            cache_dump(engines[1].cache_of("m"))
+
+
+class TestPoolLifecycle:
+    def test_env_default_clamps_unusable_values(self, monkeypatch):
+        for bad in ("0", "-3", "abc"):
+            monkeypatch.setenv("REPRO_SCAN_WORKERS", bad)
+            assert PostgresRawConfig().scan_workers == 1, bad
+        monkeypatch.setenv("REPRO_SCAN_WORKERS", "3")
+        assert PostgresRawConfig().scan_workers == 3
+        with pytest.raises(repro.errors.BudgetError):
+            PostgresRawConfig(scan_workers=0)  # explicit stays strict
+
+    def test_engine_close_releases_and_lazily_restarts_pool(self):
+        vfs = VirtualFS()
+        schema = generate_micro_csv(vfs, "m.csv", rows=64, nattrs=4,
+                                    seed=1)
+        engine = PostgresRaw(config=PostgresRawConfig(
+            row_block_size=16, scan_workers=2), vfs=vfs)
+        engine.register_csv("m", "m.csv", schema)
+        first = engine.query("SELECT a1 FROM m").rows
+        assert engine.scan_pool.started
+        engine.close()
+        assert not engine.scan_pool.started
+        engine.close()  # idempotent
+        # The engine keeps working; the pool restarts on demand.
+        engine.drop_auxiliary("m")
+        assert engine.query("SELECT a1 FROM m").rows == first
+        assert engine.scan_pool.started
+        engine.close()
+
+    def test_close_during_live_scan_fails_cleanly(self):
+        """engine.close() while a parallel scan is streaming must
+        surface a contained engine error on the next fetch — never a
+        raw CancelledError (a BaseException that would escape the
+        scheduler's containment and leak the admission slot)."""
+        vfs = VirtualFS()
+        schema = generate_micro_csv(vfs, "m.csv", rows=2000, nattrs=6,
+                                    seed=2)
+        engine = PostgresRaw(config=PostgresRawConfig(
+            row_block_size=16, scan_workers=2, batch_read_bytes=512),
+            vfs=vfs)
+        engine.register_csv("m", "m.csv", schema)
+        session = repro.connect(engine=engine, max_in_flight=1)
+        cursor = session.execute("SELECT a1 FROM m")
+        assert len(cursor.fetchmany(20)) == 20  # scan mid-stream
+        engine.close()
+        from repro.api.exceptions import Error as ApiError
+        try:
+            while cursor.fetchmany(64):
+                pass
+        except ApiError:
+            pass  # contained DB-API error, not a raw CancelledError
+        # Either way the slot was released: with max_in_flight=1 a new
+        # query can only be admitted if the wedge never happened, and
+        # it runs to completion on the lazily restarted pool.
+        fresh = session.execute("SELECT a2 FROM m")
+        assert len(fresh.fetchall()) == 2000
+        assert engine.shared_scheduler().in_flight == 0
+
+
+class TestSchedulerWorkerOverlap:
+    def micro_engine(self, workers: int) -> PostgresRaw:
+        vfs = VirtualFS()
+        schema = generate_micro_csv(vfs, "m.csv", rows=600, nattrs=8,
+                                    seed=3)
+        engine = PostgresRaw(config=PostgresRawConfig(
+            row_block_size=64, scan_workers=workers), vfs=vfs)
+        engine.register_csv("m", "m.csv", schema)
+        return engine
+
+    def test_serial_engine_has_no_pool(self):
+        engine = self.micro_engine(1)
+        assert engine.scan_pool is None
+        session = repro.connect(engine=engine)
+        cursor = session.execute("SELECT a1 FROM m")
+        cursor.fetchall()
+        assert cursor.worker_tasks == 0
+
+    def test_interleaved_jobs_both_fan_out(self):
+        """Two admitted queries interleaved at batch boundaries each
+        dispatch their own groups to the shared pool — and keep their
+        futures in flight across yields, which is the overlap
+        mechanism. Per-job worker_tasks attributes the fan-out."""
+        engine = self.micro_engine(2)
+        assert engine.scan_pool is not None
+        s1 = repro.connect(engine=engine, max_in_flight=4)
+        s2 = repro.connect(engine=engine)
+        c1 = s1.execute("SELECT a1 FROM m WHERE a1 > 0")
+        c2 = s2.execute("SELECT a2, a5 FROM m")
+        out1, out2 = [], []
+        while True:
+            chunk1 = c1.fetchmany(50)
+            chunk2 = c2.fetchmany(50)
+            out1.extend(chunk1)
+            out2.extend(chunk2)
+            if not chunk1 and not chunk2:
+                break
+        assert c1.worker_tasks > 0
+        assert c2.worker_tasks > 0
+        assert engine.scan_pool.tasks_submitted >= (c1.worker_tasks
+                                                    + c2.worker_tasks)
+        # Same interleave on a serial engine: identical rows and
+        # identical structures (the cooperative-interleave differential
+        # now also spans the worker fan-out).
+        serial = self.micro_engine(1)
+        t1 = repro.connect(engine=serial, max_in_flight=4)
+        t2 = repro.connect(engine=serial)
+        d1 = t1.execute("SELECT a1 FROM m WHERE a1 > 0")
+        d2 = t2.execute("SELECT a2, a5 FROM m")
+        ref1, ref2 = [], []
+        while True:
+            chunk1 = d1.fetchmany(50)
+            chunk2 = d2.fetchmany(50)
+            ref1.extend(chunk1)
+            ref2.extend(chunk2)
+            if not chunk1 and not chunk2:
+                break
+        assert out1 == ref1 and out2 == ref2
+        assert pm_dump(engine.positional_map_of("m")) == \
+            pm_dump(serial.positional_map_of("m"))
+        assert cache_dump(engine.cache_of("m")) == \
+            cache_dump(serial.cache_of("m"))
+
+    def test_per_job_counters_include_worker_charges(self):
+        """Worker-side charges replay inside the owning pull, so the
+        per-job ledgers sum to (at most) the engine totals exactly as
+        under serial scans."""
+        engine = self.micro_engine(4)
+        session = repro.connect(engine=engine)
+        c1 = session.execute("SELECT a1 FROM m")
+        c2 = session.execute("SELECT a3 FROM m")
+        while c1.fetchmany(64) or c2.fetchmany(64):
+            pass
+        counters1, counters2 = c1.counters(), c2.counters()
+        totals = engine.counters()
+        for event in set(counters1) | set(counters2):
+            assert (counters1.get(event, 0) + counters2.get(event, 0)
+                    <= totals.get(event, 0) + 1e-9), event
+        # The cold scan's conversions happened on workers; they must
+        # appear in the first query's ledger.
+        assert counters1.get("convert_int", 0) > 0
+
+
+class TestCanonicalRegroup:
+    def build(self, order: tuple[str, ...]) -> PostgresRaw:
+        vfs = VirtualFS()
+        schema = generate_micro_csv(vfs, "m.csv", rows=300, nattrs=6,
+                                    seed=5)
+        engine = PostgresRaw(config=PostgresRawConfig(row_block_size=32),
+                             vfs=vfs)
+        engine.register_csv("m", "m.csv", schema)
+        for sql in order:
+            engine.query(sql)
+        return engine
+
+    QUERIES = ("SELECT a2 FROM m WHERE a4 > 0",
+               "SELECT a3, a5 FROM m",
+               "SELECT a1 FROM m WHERE a2 > 0")
+
+    def test_regroup_converges_flush_order_dependent_layouts(self):
+        """Different query orders leave the same map *content* but
+        different vertical chunk groups; after the idle tuner's
+        regroup pass the full dumps are byte-identical."""
+        forward = self.build(self.QUERIES)
+        backward = self.build(tuple(reversed(self.QUERIES)))
+        assert pm_dump(forward.positional_map_of("m")) != \
+            pm_dump(backward.positional_map_of("m"))
+        rewritten_f = IdleTuner(forward).regroup_maps()
+        rewritten_b = IdleTuner(backward).regroup_maps()
+        assert rewritten_f > 0 and rewritten_b > 0
+        assert pm_dump(forward.positional_map_of("m")) == \
+            pm_dump(backward.positional_map_of("m"))
+
+    def test_regroup_is_idempotent_and_content_preserving(self):
+        engine = self.build(self.QUERIES)
+        pm = engine.positional_map_of("m")
+        before = {}
+        for block in list(pm._directory):
+            for attr in pm.indexed_attrs(block):
+                column = pm.positions(block, attr)
+                before[(block, attr)] = column.tolist()
+        IdleTuner(engine).regroup_maps()
+        for (block, attr), expected in before.items():
+            got = pm.positions(block, attr)
+            assert got is not None
+            assert got.tolist()[:len(expected)] == expected, (block, attr)
+        dump = pm_dump(pm)
+        assert IdleTuner(engine).regroup_maps() == 0  # already canonical
+        assert pm_dump(pm) == dump
+        # Every block now holds exactly one chunk, sorted group.
+        for (group, _block) in pm._chunks:
+            assert list(group) == sorted(group)
+        # And queries still answer correctly from the regrouped map.
+        fresh = self.build(self.QUERIES)
+        for sql in self.QUERIES:
+            assert engine.query(sql).rows == fresh.query(sql).rows
+
+    def test_regroup_charges_maintenance_cost(self):
+        engine = self.build(self.QUERIES)
+        before = engine.clock.now()
+        inserts_before = engine.counters().get("map_insert", 0)
+        IdleTuner(engine).regroup_maps("m")
+        assert engine.clock.now() > before
+        assert engine.counters().get("map_insert", 0) > inserts_before
+
+    def test_parallel_and_serial_interleaves_converge_after_regroup(self):
+        """The de-flake satellite: interleaved streaming cursors under
+        different worker counts leave content-equal maps whose layouts
+        may differ from a serial run; regroup makes the *full* dumps
+        comparable."""
+        def run(workers: int) -> PostgresRaw:
+            vfs = VirtualFS()
+            schema = generate_micro_csv(vfs, "m.csv", rows=300, nattrs=6,
+                                        seed=5)
+            engine = PostgresRaw(config=PostgresRawConfig(
+                row_block_size=32, scan_workers=workers), vfs=vfs)
+            engine.register_csv("m", "m.csv", schema)
+            session = repro.connect(engine=engine, max_in_flight=4)
+            c1 = session.execute(self.QUERIES[0])
+            c2 = session.execute(self.QUERIES[1])
+            while c1.fetchmany(40) or c2.fetchmany(40):
+                pass
+            return engine
+
+        for workers in (1, 2):
+            inter = run(workers)
+            IdleTuner(inter).regroup_maps()
+            reference = self.build(self.QUERIES[:2])
+            IdleTuner(reference).regroup_maps()
+            assert pm_dump(inter.positional_map_of("m")) == \
+                pm_dump(reference.positional_map_of("m"))
