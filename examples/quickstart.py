@@ -1,18 +1,20 @@
 """Quickstart: query a raw CSV file with zero loading.
 
 The NoDB premise (§1): you have a data file and a question; the
-data-to-query time should be the time to type the query. With the
-session API the ceremony is one call: ``repro.connect()`` gives a
-PostgresRaw-backed session; register the file (touching no data) and
-query immediately — with ``?`` parameters, prepared statements that
-skip all parse/plan work on re-execution, and streaming cursors that
-never materialize more than a scan block.
+data-to-query time should be the time to type the query. The whole
+ceremony is SQL now — ``CREATE TABLE ... USING csv OPTIONS (path ...)``
+declares the schema and binds the in-situ scan without touching a byte
+of data, and everything after that is ordinary queries: ``?``
+parameters, prepared statements that skip all parse/plan work on
+re-execution, streaming cursors that never materialize more than a
+scan block, ``SHOW TABLES``/``DESCRIBE`` for the catalog, ``DROP
+TABLE`` to tear the table (and its adaptive structures) back down.
 
 Run:  PYTHONPATH=src python examples/quickstart.py
 """
 
 import repro
-from repro import INTEGER, Schema, VirtualFS, varchar
+from repro import VirtualFS
 from repro.workloads.micro import generate_micro_csv
 
 
@@ -22,13 +24,21 @@ def main() -> None:
 
     # Drop a 2000-row, 25-attribute CSV file onto it (the paper's §5.1
     # micro-benchmark shape, at laptop scale).
-    schema = generate_micro_csv(vfs, "sensors.csv", rows=2000, nattrs=25,
-                                seed=7)
+    generate_micro_csv(vfs, "sensors.csv", rows=2000, nattrs=25, seed=7)
 
     session = repro.connect(vfs=vfs)
-    session.register_csv("sensors", "sensors.csv", schema)
-    print("registered sensors.csv — engine time so far: "
+
+    # Declare the table: schema a priori (§3.1), no data touched.
+    columns = ", ".join(f"a{i} INTEGER" for i in range(25))
+    session.execute(f"CREATE TABLE sensors ({columns}) "
+                    "USING csv OPTIONS (path 'sensors.csv')")
+    print("declared sensors.csv — engine time so far: "
           f"{session.engine.elapsed():.3f}s (no load step!)\n")
+
+    for row in session.execute("DESCRIBE sensors").fetchmany(3):
+        print("   ", row)
+    print("    ... (SHOW TABLES:",
+          session.execute("SHOW TABLES").fetchall(), ")\n")
 
     # Query 1: the first touch pays for tokenizing and parsing.
     q = "SELECT avg(a3), min(a7), max(a7) FROM sensors WHERE a1 < 500000000"
@@ -64,11 +74,11 @@ def main() -> None:
           f"(peak buffered: {cursor.peak_buffered_rows} rows)")
     cursor.close()  # abandon the rest; partial map/cache state is kept
 
-    # Files added later are immediately queryable (§4.5) — with qmark
-    # parameter binding.
+    # Files added later are immediately queryable (§4.5) — declare and
+    # go, with qmark parameter binding.
     vfs.create("labels.csv", b"1,calibration\n2,production\n")
-    session.add_file("labels", "labels.csv",
-                     Schema([("run", INTEGER), ("phase", varchar())]))
+    session.execute("CREATE TABLE labels (run INTEGER, phase VARCHAR) "
+                    "USING csv OPTIONS (path 'labels.csv')")
     row = session.execute("SELECT phase FROM labels WHERE run = ?",
                           (2,)).fetchone()
     print("\nnew file labels.csv queryable instantly:", row)
@@ -77,6 +87,11 @@ def main() -> None:
     print("\nEXPLAIN of Q1:")
     for (line,) in session.execute("EXPLAIN " + q):
         print("   " + line)
+
+    # DROP TABLE tears down the table and its adaptive structures.
+    session.execute("DROP TABLE labels")
+    print("\nafter DROP TABLE labels:",
+          session.execute("SHOW TABLES").fetchall())
 
     session.close()
 

@@ -39,7 +39,13 @@ from repro.engines.base import Database
 from repro.engines.cfitsio import CFitsioProgram
 from repro.engines.external import ExternalFilesDBMS
 from repro.engines.loaded import LoadedDBMS
-from repro.errors import ReproError
+from repro.errors import CatalogError, ReproError
+from repro.formats.registry import (
+    FormatAdapter,
+    available_formats,
+    get_format,
+    register_format,
+)
 from repro.simcost.clock import CostEvent, VirtualClock
 from repro.simcost.model import CostModel
 from repro.simcost.profiles import (
@@ -89,8 +95,10 @@ __all__ = [
     "POSTGRES_RAW_PROFILE", "POSTGRESQL_PROFILE", "DBMS_X_PROFILE",
     "MYSQL_PROFILE", "CSV_ENGINE_PROFILE", "DBMS_X_EXTERNAL_PROFILE",
     "CFITSIO_PROFILE",
+    # format-adapter registry (CREATE TABLE ... USING <format>)
+    "FormatAdapter", "register_format", "get_format", "available_formats",
     # storage
     "VirtualFS", "OSPageCache",
     # errors
-    "ReproError",
+    "ReproError", "CatalogError",
 ]

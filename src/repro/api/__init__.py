@@ -5,7 +5,9 @@ DB-API 2.0 flavored::
     import repro
 
     session = repro.connect()                   # fresh PostgresRaw
-    session.register_csv("t", "t.csv", schema)  # forwarded to the engine
+    session.execute(
+        "CREATE TABLE t (a INTEGER, b INTEGER) "
+        "USING csv OPTIONS (path 't.csv')")     # declare, never load
 
     cur = session.execute("SELECT a, b FROM t WHERE a < ?", (10,))
     for row in cur:                             # streams batch-by-batch
@@ -34,7 +36,12 @@ from repro.api.exceptions import (
     ProgrammingError,
 )
 from repro.api.scheduler import QueryJob, Scheduler
-from repro.api.session import PreparedStatement, Session, connect
+from repro.api.session import (
+    DDLStatement,
+    PreparedStatement,
+    Session,
+    connect,
+)
 
 apilevel = "2.0"
 threadsafety = 1  # module-level sharing only; engines are single-threaded
@@ -42,6 +49,7 @@ paramstyle = "qmark"
 
 __all__ = [
     "connect", "Session", "Cursor", "PreparedStatement",
+    "DDLStatement",
     "Scheduler", "QueryJob",
     "apilevel", "threadsafety", "paramstyle",
     "Error", "InterfaceError", "DatabaseError", "DataError",

@@ -16,14 +16,15 @@ from typing import TYPE_CHECKING, Iterator, Optional, Sequence, Union
 
 from repro.api.exceptions import InterfaceError, map_error
 from repro.api.scheduler import QueryJob
-from repro.api.session import PreparedStatement
+from repro.api.session import DDLStatement, PreparedStatement
 from repro.sql.executor import QueryResult, column_index
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.session import Session
 
-#: a cursor.execute operation: SQL text or an already-prepared statement
-Operation = Union[str, PreparedStatement]
+#: a cursor.execute operation: SQL text or an already-prepared
+#: statement (SELECT/EXPLAIN) or DDL statement (CREATE/DROP/...)
+Operation = Union[str, PreparedStatement, DDLStatement]
 
 
 class Cursor:
@@ -88,8 +89,8 @@ class Cursor:
         return self
 
     def _resolve(self, operation: Operation,
-                 params: Sequence) -> PreparedStatement:
-        if isinstance(operation, PreparedStatement):
+                 params: Sequence) -> "PreparedStatement | DDLStatement":
+        if isinstance(operation, (PreparedStatement, DDLStatement)):
             return operation
         return self.session._statement_for_execute(operation, params)
 

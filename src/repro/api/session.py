@@ -28,13 +28,39 @@ from repro.api.exceptions import (
     translate_errors,
 )
 from repro.api.scheduler import QueryJob
-from repro.sql.ast_nodes import Explain, ParamBinding, Select
+from repro.sql.ast_nodes import Explain, ParamBinding, Select, is_ddl
 from repro.sql.executor import QueryResult, counters_delta, explain_rows
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.cursor import Cursor
     from repro.engines.base import Database
     from repro.sql.planner import PlannedQuery
+
+
+class DDLStatement:
+    """A parsed DDL statement (CREATE/DROP/SHOW/DESCRIBE).
+
+    The front end splits statements once, at parse time: SELECT/EXPLAIN
+    become :class:`PreparedStatement` (planned, cached, parameterized);
+    DDL becomes this — no plan, no parameters, never cached, and every
+    :meth:`execute` re-runs the statement against the live catalog
+    through :meth:`~repro.engines.base.Database.run_ddl`. Both kinds
+    flow through the same cursor/fetch machinery, so ``SHOW TABLES``
+    streams like any result set.
+    """
+
+    is_explain = False
+    param_count = 0
+
+    def __init__(self, session: "Session", sql: str, node):
+        self.session = session
+        self.sql = sql
+        self.node = node
+        self.plan: dict = {"op": type(node).__name__}
+
+    def execute(self, params: Sequence = ()) -> "Cursor":
+        """Run on a fresh cursor of the owning session."""
+        return self.session.cursor().execute(self, params)
 
 
 class PreparedStatement:
@@ -183,15 +209,18 @@ class Session:
 
     # -- catalog conveniences (forwarded to the engine) ----------------------
     def register_csv(self, name: str, path: str, schema):
-        """Forwarded to the engine (raw engines only)."""
+        """Deprecated engine shim; prefer ``session.execute("CREATE
+        TABLE ... USING csv OPTIONS (path '...')")``."""
         return self._forward("register_csv", name, path, schema)
 
     def register_fits(self, name: str, path: str):
-        """Forwarded to the engine (raw engines only)."""
+        """Deprecated engine shim; prefer ``CREATE TABLE ... USING
+        fits``."""
         return self._forward("register_fits", name, path)
 
     def add_file(self, name: str, path: str, schema):
-        """Forwarded to the engine (§4.5 vocabulary)."""
+        """Deprecated engine shim (§4.5 vocabulary); prefer ``CREATE
+        TABLE ... USING csv``."""
         return self._forward("add_file", name, path, schema)
 
     def _forward(self, method: str, *args):
@@ -205,9 +234,11 @@ class Session:
             return fn(*args)
 
     # -- prepared statements -----------------------------------------------
-    def prepare(self, sql: str) -> PreparedStatement:
+    def prepare(self, sql: str) -> "PreparedStatement | DDLStatement":
         """Parse + plan ``sql`` once; the result re-executes with new
-        parameters at zero parse/plan cost."""
+        parameters at zero parse/plan cost. DDL text comes back as a
+        :class:`DDLStatement` (no plan; each execute hits the catalog
+        afresh)."""
         self._check_open()
         return self._prepared(sql)
 
@@ -223,7 +254,7 @@ class Session:
         return self._prepared(sql)
 
     def _prepared(self, sql: str,
-                  use_cache: bool = True) -> PreparedStatement:
+                  use_cache: bool = True) -> "PreparedStatement | DDLStatement":
         if use_cache:
             cached = self._statements.get(sql)
             if cached is not None:
@@ -236,6 +267,11 @@ class Session:
             before = dict(clock.counters)
             parsed = self.engine.parse_sql(sql)
             self.stats["parses"] += 1
+            if is_ddl(parsed):
+                # The statement-dispatch split: DDL is never planned or
+                # cached — each execution runs against the live catalog
+                # (its query_overhead is charged per execution).
+                return DDLStatement(self, sql, parsed)
             self.engine.model.query_overhead()
             select = (parsed.select if isinstance(parsed, Explain)
                       else parsed)
@@ -257,12 +293,14 @@ class Session:
         return statement
 
     # -- job plumbing (used by Cursor) ---------------------------------------
-    def _start_job(self, statement: PreparedStatement,
+    def _start_job(self, statement: "PreparedStatement | DDLStatement",
                    params: Sequence) -> QueryJob:
         self._check_open()
         if statement.session is not self:
             raise InterfaceError(
                 "prepared statement belongs to a different session")
+        if isinstance(statement, DDLStatement):
+            return self._run_ddl_job(statement, params)
         with translate_errors():
             if statement.is_explain:
                 # EXPLAIN executes nothing; its cached plan is
@@ -282,6 +320,28 @@ class Session:
             statement._live_jobs.add(job)
             self._jobs.add(job)
             self.scheduler.submit(job)
+        self.stats["queries"] += 1
+        return job
+
+    def _run_ddl_job(self, statement: DDLStatement,
+                     params: Sequence) -> QueryJob:
+        """Execute DDL synchronously into a born-finished job: catalog
+        statements touch no scan slots, so they bypass admission the
+        way EXPLAIN does, but their (small) engine cost is still
+        charged to the job/session ledgers."""
+        if params:
+            raise ProgrammingError(
+                f"DDL statements take no parameters: {statement.sql!r}")
+        with translate_errors():
+            clock = self.engine.clock
+            start = clock.checkpoint()
+            before = dict(clock.counters)
+            self.engine.model.query_overhead()
+            columns, rows = self.engine.run_ddl(statement.node)
+            job = QueryJob.completed(self, statement.sql, columns, rows,
+                                     statement.plan)
+            job.charge(clock.elapsed_since(start),
+                       counters_delta(clock.counters, before))
         self.stats["queries"] += 1
         return job
 

@@ -1,30 +1,32 @@
 """PostgresRaw: the NoDB engine (§4).
 
-Tables are registered, never loaded: ``register_csv`` / ``register_fits``
-record the schema and bind an in-situ access method; the first query
-touches the raw file. Each raw CSV table owns a positional map and a
-binary cache (per the configuration); FITS tables own a cache.
+Tables are declared, never loaded: ``CREATE TABLE ... USING <format>``
+(or the deprecated ``register_*`` shims over it) records the schema and
+binds an in-situ access method built by the table's
+:class:`~repro.formats.registry.FormatAdapter`; the first query touches
+the raw file. The engine itself holds no format knowledge — it only
+advertises ``in_situ_policy = "raw"`` and its config, which adapters
+consult to wire per-table auxiliary structures (positional map, binary
+cache, statistics participation).
 """
 
 from __future__ import annotations
 
 from repro.core.cache import BinaryCache
 from repro.core.config import PostgresRawConfig
-from repro.core.fits_scan import RawFitsAccess
 from repro.core.parallel import ScanWorkerPool
 from repro.core.positional_map import PositionalMap
 from repro.core.prewarm import FsInterfacePrewarmer
-from repro.core.scan import RawCsvAccess
 from repro.engines.base import Database
 from repro.errors import CatalogError
-from repro.formats.fits import parse_fits_from_vfs
 from repro.simcost.profiles import POSTGRES_RAW_PROFILE, CostProfile
-from repro.sql.catalog import Schema, TableInfo, TableKind
 from repro.storage.vfs import VirtualFS
 
 
 class PostgresRaw(Database):
     """The paper's prototype: a row-store DBMS querying raw files in situ."""
+
+    in_situ_policy = "raw"
 
     def __init__(self, config: PostgresRawConfig | None = None,
                  vfs: VirtualFS | None = None,
@@ -56,38 +58,6 @@ class PostgresRaw(Database):
             self.scan_pool.close()
 
     # ------------------------------------------------------------------
-    def register_csv(self, name: str, csv_path: str, schema: Schema,
-                     ) -> TableInfo:
-        """Declare an in-situ CSV table (instant: no data is touched).
-
-        The paper's usage model (§3.1): the user declares the schema and
-        marks the table as in situ; everything else is adaptive.
-        """
-        if not self.vfs.exists(csv_path):
-            raise CatalogError(f"raw file does not exist: {csv_path!r}")
-        config = self.config
-        positional_map = None
-        if config.enable_positional_map or config.enable_cache:
-            # Cache-only mode still keeps the "minimal map" of line ends
-            # (§5.1.2); attribute chunks are gated inside the scan.
-            positional_map = PositionalMap(
-                self.model, schema.arity,
-                row_block_size=config.row_block_size,
-                budget_bytes=config.pm_budget_bytes,
-                spill_vfs=self.vfs if config.pm_spill_enabled else None,
-                spill_prefix=f"{config.pm_spill_path}/{name.lower()}",
-            )
-        cache = (BinaryCache(self.model, config.cache_budget_bytes)
-                 if config.enable_cache else None)
-        info = TableInfo(name=name, schema=schema, kind=TableKind.RAW_CSV,
-                         path=csv_path)
-        info.access = RawCsvAccess(self.vfs, csv_path, schema, self.model,
-                                   config, info, positional_map, cache,
-                                   pool=self.scan_pool)
-        self.catalog.register(info)
-        return info
-
-    # ------------------------------------------------------------------
     # §7 File System Interface
     # ------------------------------------------------------------------
     def enable_fs_interface(self, table: str) -> FsInterfacePrewarmer:
@@ -114,28 +84,6 @@ class PostgresRaw(Database):
         prewarmer = info.extra.pop("prewarmer", None)
         if prewarmer is not None:
             prewarmer.detach()
-
-    def register_fits(self, name: str, fits_path: str) -> TableInfo:
-        """Declare an in-situ FITS binary table. The schema comes from
-        the file's own header — no user declaration needed."""
-        if not self.vfs.exists(fits_path):
-            raise CatalogError(f"raw file does not exist: {fits_path!r}")
-        fits = parse_fits_from_vfs(self.vfs, fits_path)
-        cache = (BinaryCache(self.model, self.config.cache_budget_bytes)
-                 if self.config.enable_cache else None)
-        info = TableInfo(name=name, schema=fits.schema,
-                         kind=TableKind.RAW_FITS, path=fits_path)
-        info.access = RawFitsAccess(self.vfs, fits_path, fits, self.model,
-                                    self.config, info, cache)
-        self.catalog.register(info)
-        return info
-
-    def add_file(self, name: str, csv_path: str, schema: Schema,
-                 ) -> TableInfo:
-        """§4.5: a newly added data file is immediately queryable —
-        synonym for :meth:`register_csv`, kept for the paper's
-        vocabulary."""
-        return self.register_csv(name, csv_path, schema)
 
     # ------------------------------------------------------------------
     # Introspection (used by experiments and examples)

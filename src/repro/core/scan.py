@@ -53,7 +53,7 @@ from repro.core.config import PostgresRawConfig
 from repro.core.positional_map import PositionalMap
 from repro.core.scan_batch import BatchCsvScan
 from repro.core.statistics import StatsCollector
-from repro.errors import CSVFormatError
+from repro.errors import CSVFormatError, ExecutionError
 from repro.formats.csvfmt import (
     field_spans_prefix,
     span_backward,
@@ -380,6 +380,12 @@ class RawCsvAccess:
                         positions[attr] = column
 
         line_spans = [pm.line_span(r) for r in rows]
+        if any(span is None for span in line_spans):
+            # DROP TABLE / map teardown under a live scan: fail cleanly.
+            raise ExecutionError(
+                f"line spans for block {block} vanished from the "
+                "positional map mid-scan (table dropped or map torn "
+                "down under a live query); re-run the query")
 
         def cached_value(attr, idx):
             cache_block = cached.get(attr)

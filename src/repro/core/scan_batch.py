@@ -315,6 +315,15 @@ class BatchCsvScan:
         model.tuple_overhead(n)
 
         spans = self.pm.line_spans_block(row0, row1)
+        if spans is None:
+            # The map lost spans this scan froze at start (DROP TABLE,
+            # drop_auxiliary, or a budget eviction of the line index
+            # under a live scan): fail cleanly instead of unpacking
+            # None — a re-run plans against the current catalog.
+            raise ExecutionError(
+                f"line spans for rows {row0}..{row1} vanished from the "
+                "positional map mid-scan (table dropped or map torn "
+                "down under a live query); re-run the query")
         starts, ends = spans
 
         # -- prefetch cache blocks and positional columns

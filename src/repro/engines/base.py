@@ -24,9 +24,21 @@ from typing import TYPE_CHECKING
 from repro.simcost.clock import VirtualClock
 from repro.simcost.model import CostModel
 from repro.simcost.profiles import CostProfile
-from repro.sql.ast_nodes import Exists, Explain, Select
-from repro.sql.catalog import Catalog
-from repro.sql.executor import QueryResult, execute, explain_result
+from repro.sql.ast_nodes import (
+    CreateTable,
+    Exists,
+    Explain,
+    Select,
+    Statement,
+    is_ddl,
+)
+from repro.sql.catalog import Catalog, Schema, TableInfo
+from repro.sql.executor import (
+    QueryResult,
+    counters_delta,
+    execute,
+    explain_result,
+)
 from repro.sql.expressions import split_conjuncts
 from repro.sql.operators import DEFAULT_BATCH_ROWS
 from repro.sql.optimizer import Optimizer
@@ -52,6 +64,11 @@ class Database:
         engine gets its own machine.
     """
 
+    #: how this engine binds raw files, consulted by format adapters:
+    #: ``"raw"`` (in-situ with auxiliary structures), ``"external"``
+    #: (straw-man full re-parse), or None (does not scan raw files).
+    in_situ_policy: str | None = None
+
     def __init__(self, profile: CostProfile, vfs: VirtualFS | None = None):
         self.vfs = vfs if vfs is not None else VirtualFS()
         self.clock = VirtualClock()
@@ -68,12 +85,22 @@ class Database:
 
     # ------------------------------------------------------------------
     def query(self, sql: str) -> QueryResult:
-        """Parse, plan, and execute one statement (SELECT, or EXPLAIN
-        SELECT — which plans without executing)."""
+        """Parse and execute one statement — SELECT, EXPLAIN SELECT
+        (plans without executing), or DDL (CREATE/DROP/SHOW/DESCRIBE,
+        dispatched to the format-adapter registry). One path for every
+        statement kind; the session layer reuses the same split."""
         start = self.clock.checkpoint()
         counters_before = dict(self.clock.counters)
         parsed = parse(sql)
         self.model.query_overhead()
+        if is_ddl(parsed):
+            columns, rows = self.run_ddl(parsed)
+            return QueryResult(
+                columns=columns, rows=rows,
+                elapsed=self.clock.elapsed_since(start),
+                counters=counters_delta(self.clock.counters,
+                                        counters_before),
+                plan={"op": type(parsed).__name__})
         if isinstance(parsed, Explain):
             select = parsed.select
             self._refresh_tables(select)
@@ -82,6 +109,13 @@ class Database:
         self._refresh_tables(parsed)
         planned = self._plan(parsed)
         return execute(planned, self.model, start, counters_before)
+
+    def run_ddl(self, statement) -> tuple[list[str], list[tuple]]:
+        """Execute a parsed DDL statement against this engine's catalog
+        through the format registry; returns ``(columns, rows)``."""
+        from repro.sql.ddl import execute_ddl
+
+        return execute_ddl(self, statement)
 
     def execute(self, sql: str) -> QueryResult:
         """Deprecated pre-session surface: alias of :meth:`query`.
@@ -95,6 +129,51 @@ class Database:
             "or the repro.connect() session API",
             DeprecationWarning, stacklevel=2)
         return self.query(sql)
+
+    # ------------------------------------------------------------------
+    # Deprecated registration shims — one implementation for every
+    # engine, routed through the DDL path (CREATE TABLE ... USING ...),
+    # so the format registry is the single place tables are built.
+    # ------------------------------------------------------------------
+    def _create_via_ddl(self, name: str, schema: Schema | None,
+                        fmt: str, options: dict,
+                        external: bool = False) -> TableInfo:
+        statement = CreateTable(name=name, format=fmt, options=options,
+                                external=external, schema=schema)
+        self.run_ddl(statement)
+        return self.catalog.get(name)
+
+    def register_csv(self, name: str, csv_path: str, schema: Schema,
+                     ) -> TableInfo:
+        """Deprecated: ``CREATE TABLE <name> (...) USING csv OPTIONS
+        (path '<csv_path>')`` — the §3.1 declaration as real SQL."""
+        warnings.warn(
+            "register_csv() is deprecated; use query(\"CREATE TABLE ... "
+            "USING csv OPTIONS (path '...')\")",
+            DeprecationWarning, stacklevel=2)
+        return self._create_via_ddl(name, schema, "csv",
+                                    {"path": csv_path})
+
+    def add_file(self, name: str, csv_path: str, schema: Schema,
+                 ) -> TableInfo:
+        """Deprecated §4.5 synonym of :meth:`register_csv`: a newly
+        added data file is immediately queryable."""
+        warnings.warn(
+            "add_file() is deprecated; use query(\"CREATE TABLE ... "
+            "USING csv OPTIONS (path '...')\")",
+            DeprecationWarning, stacklevel=2)
+        return self._create_via_ddl(name, schema, "csv",
+                                    {"path": csv_path})
+
+    def register_fits(self, name: str, fits_path: str) -> TableInfo:
+        """Deprecated: ``CREATE TABLE <name> USING fits OPTIONS (path
+        '<fits_path>')`` — the schema comes from the file's header."""
+        warnings.warn(
+            "register_fits() is deprecated; use query(\"CREATE TABLE ... "
+            "USING fits OPTIONS (path '...')\")",
+            DeprecationWarning, stacklevel=2)
+        return self._create_via_ddl(name, None, "fits",
+                                    {"path": fits_path})
 
     def explain(self, sql: str) -> dict:
         """The physical plan summary for ``sql`` (no execution).
@@ -147,7 +226,7 @@ class Database:
         configured scan block size)."""
         return DEFAULT_BATCH_ROWS
 
-    def parse_sql(self, sql: str) -> Select | Explain:
+    def parse_sql(self, sql: str) -> Statement:
         """Parse one statement (no planning, no catalog access)."""
         return parse(sql)
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ExecutionError
-from repro.formats.fits import FitsTableInfo, parse_fits_from_vfs
+from repro.formats.fits import FitsTableInfo
+from repro.formats.registry import get_format
 from repro.simcost.clock import VirtualClock
 from repro.simcost.model import CostModel
 from repro.simcost.profiles import CFITSIO_PROFILE, CostProfile
@@ -35,7 +36,9 @@ class CFitsioProgram:
         self.path = path
         self.clock = VirtualClock()
         self.model = CostModel(self.clock, profile)
-        self.fits: FitsTableInfo = parse_fits_from_vfs(vfs, path)
+        # FITS layout knowledge lives in the format registry; the C
+        # program "links against the same library" as PostgresRaw.
+        self.fits: FitsTableInfo = get_format("fits").parse_table(vfs, path)
         self.schema = self.fits.schema
 
     def aggregate(self, func: str, column_name: str) -> AggregateAnswer:

@@ -5,32 +5,28 @@ Models MySQL's CSV storage engine and DBMS X's external-files feature
 every query re-reads and fully re-parses the raw file, materializes
 complete tuples, and no auxiliary structures (indexes, statistics,
 caches) ever exist.
+
+The class body is nearly empty on purpose: ``in_situ_policy =
+"external"`` is all the format adapters need to bind the straw-man
+access method, so this engine differs from PostgresRaw only in that
+policy and its calibrated cost profile — the paper's experimental
+control, now structural.
 """
 
 from __future__ import annotations
 
-from repro.engines.access import ExternalAccess
 from repro.engines.base import Database
 from repro.simcost.profiles import CSV_ENGINE_PROFILE, CostProfile
-from repro.sql.catalog import Schema, TableInfo, TableKind
 from repro.storage.vfs import VirtualFS
 
 
 class ExternalFilesDBMS(Database):
     """A DBMS whose tables are raw files scanned from scratch per query."""
 
+    in_situ_policy = "external"
+
     def __init__(self, profile: CostProfile = CSV_ENGINE_PROFILE,
                  vfs: VirtualFS | None = None):
         super().__init__(profile, vfs)
         # External files expose no statistics to the optimizer (§2).
         self.use_statistics = False
-
-    def register_csv(self, name: str, csv_path: str, schema: Schema,
-                     ) -> TableInfo:
-        """Declare an external table over ``csv_path`` (instant — this
-        is the one virtue of the straw-man)."""
-        info = TableInfo(name=name, schema=schema,
-                         kind=TableKind.EXTERNAL_CSV, path=csv_path)
-        info.access = ExternalAccess(self.vfs, csv_path, schema, self.model)
-        self.catalog.register(info)
-        return info

@@ -5,19 +5,20 @@ their calibrated :class:`~repro.simcost.profiles.CostProfile`. Loading
 pays the full parse/convert/serialize/write cost once (measurable on the
 engine's clock); queries then read binary heap pages through a buffer
 pool and never convert data again.
+
+The load itself is the ``heap`` format adapter's ``build_access``
+(``CREATE TABLE t (...) USING heap OPTIONS (path '<csv>')`` works as
+SQL too); :meth:`LoadedDBMS.load_csv` is the timed convenience over
+that DDL path.
 """
 
 from __future__ import annotations
 
-from repro.engines.access import HeapAccess
 from repro.engines.base import Database
 from repro.simcost.profiles import POSTGRESQL_PROFILE, CostProfile
-from repro.sql.catalog import Schema, TableInfo, TableKind
+from repro.sql.ast_nodes import CreateTable
+from repro.sql.catalog import Schema
 from repro.storage.buffer import BufferPool
-from repro.storage.heap import HeapFile
-from repro.storage.loader import BulkLoader
-from repro.storage.record import RecordCodec
-from repro.storage.toast import ToastReader
 from repro.storage.vfs import VirtualFS
 
 
@@ -36,18 +37,9 @@ class LoadedDBMS(Database):
         virtual seconds the load took (the cost Figure 7 stacks on top
         of the query sequence)."""
         start = self.clock.checkpoint()
-        heap_path = f"__heap__/{self.name}/{name.lower()}.heap"
-        loader = BulkLoader(self.vfs, self.model)
-        rows, stats = loader.load(csv_path, heap_path, schema)
-        heap = HeapFile(self.vfs, heap_path)
-        info = TableInfo(name=name, schema=schema, kind=TableKind.HEAP,
-                         path=heap_path, stats=stats, row_count_hint=rows)
-        toast = (ToastReader(self.vfs, heap_path + ".toast", self.model)
-                 if self.vfs.exists(heap_path + ".toast") else None)
-        info.access = HeapAccess(heap, self.pool, RecordCodec(schema),
-                                 schema, self.model, row_count=rows,
-                                 toast=toast)
-        self.catalog.register(info)
+        self.run_ddl(CreateTable(name=name, format="heap",
+                                 options={"path": csv_path},
+                                 schema=schema))
         return self.clock.elapsed_since(start)
 
     def restart(self) -> None:

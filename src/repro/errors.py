@@ -79,6 +79,14 @@ class FITSFormatError(FormatError):
     """Raised when a FITS file or header is malformed."""
 
 
+class JSONLFormatError(FormatError):
+    """Raised when a JSON-Lines row cannot be tokenized."""
+
+    def __init__(self, message: str, row_number: int | None = None):
+        super().__init__(message)
+        self.row_number = row_number
+
+
 class ExecutionError(ReproError):
     """Raised when a query plan fails during execution."""
 

@@ -1,4 +1,12 @@
-"""Raw file formats: CSV (the paper's main case, §4) and FITS (§5.3)."""
+"""Raw file formats behind the pluggable adapter registry.
+
+Built-ins: CSV (the paper's main case, §4), FITS (§5.3), heap (the
+load-then-query comparator path) and JSON Lines (the openness proof —
+registered purely through the public registry, touching neither the
+planner nor the catalog). Register your own with
+:func:`repro.formats.register_format`; see the "writing a format
+adapter" section of the README.
+"""
 
 from repro.formats.csvfmt import (
     CsvDialect,
@@ -10,8 +18,33 @@ from repro.formats.csvfmt import (
     split_line,
     write_csv,
 )
+from repro.formats.registry import (
+    CsvAdapter,
+    FitsAdapter,
+    FormatAdapter,
+    HeapAdapter,
+    available_formats,
+    get_format,
+    has_format,
+    register_format,
+    sniff_format,
+)
+from repro.formats.jsonl import JsonlAdapter, write_jsonl  # noqa: E402
 
 __all__ = [
+    # adapter registry (the public extension surface)
+    "FormatAdapter",
+    "register_format",
+    "get_format",
+    "has_format",
+    "available_formats",
+    "sniff_format",
+    "CsvAdapter",
+    "FitsAdapter",
+    "HeapAdapter",
+    "JsonlAdapter",
+    "write_jsonl",
+    # CSV primitives
     "CsvDialect",
     "LineReader",
     "find_line_starts",

@@ -194,3 +194,67 @@ class Explain:
     @property
     def binding(self) -> Optional[ParamBinding]:
         return self.select.binding
+
+
+# ---------------------------------------------------------------------------
+# DDL statements (CREATE/DROP/SHOW/DESCRIBE) — executed against the
+# catalog through the format-adapter registry, never planned.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnDef:
+    """One declared column of ``CREATE TABLE``: the parser resolves the
+    SQL type name (with args) to a :class:`~repro.sql.datatypes.
+    DataType` eagerly so bad types fail with a token position."""
+
+    name: str
+    dtype: object  # DataType
+    nullable: bool = True
+
+
+@dataclass
+class CreateTable:
+    """``CREATE [EXTERNAL] TABLE t (cols...) USING fmt OPTIONS (...)``.
+
+    ``format`` is None when ``USING`` was omitted (the registry sniffs
+    it from the path's extension). ``schema`` is the programmatic
+    channel used by the deprecated ``register_*`` shims — a prebuilt
+    :class:`~repro.sql.catalog.Schema` that bypasses ``columns``.
+    """
+
+    name: str
+    columns: tuple = ()
+    format: Optional[str] = None
+    options: dict = field(default_factory=dict)
+    external: bool = False
+    schema: object | None = None
+
+
+@dataclass(frozen=True)
+class DropTable:
+    """``DROP TABLE t``: unregister + tear down auxiliary structures."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ShowTables:
+    """``SHOW TABLES``: one row per registered table."""
+
+
+@dataclass(frozen=True)
+class DescribeTable:
+    """``DESCRIBE t``: one row per column of the table's schema."""
+
+    name: str
+
+
+#: every DDL statement kind the dispatcher recognizes
+DDL_NODES = (CreateTable, DropTable, ShowTables, DescribeTable)
+
+Statement = Union["Select", "Explain", CreateTable, DropTable,
+                  ShowTables, DescribeTable]
+
+
+def is_ddl(statement) -> bool:
+    """True for catalog statements (everything but SELECT/EXPLAIN)."""
+    return isinstance(statement, DDL_NODES)

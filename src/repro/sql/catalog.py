@@ -1,9 +1,12 @@
-"""Catalog: schemas, table registration, table kinds.
+"""Catalog: schemas and the table namespace.
 
 The paper keeps PostgreSQL's catalog but marks tables as *in situ*: the
-schema is declared a priori (§3.1 — schema discovery is out of scope),
-and the table's kind decides which access method the planner binds at
-the plan leaf.
+schema is declared a priori (§3.1 — schema discovery is out of scope).
+*How* a table's tuples are reached is not catalog knowledge anymore:
+``CREATE TABLE ... USING <format>`` resolves a
+:class:`~repro.formats.registry.FormatAdapter` that builds the access
+method bound at the plan leaf; the catalog only records the format name
+for introspection (``SHOW TABLES``) and teardown (``DROP TABLE``).
 """
 
 from __future__ import annotations
@@ -20,12 +23,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class TableKind(enum.Enum):
-    """How the engine reaches a table's tuples."""
+    """Deprecated pre-registry enum of access paths. Kept only so old
+    callers constructing :class:`TableInfo` with ``kind=...`` keep
+    working; nothing in the engine branches on it — format dispatch
+    lives in :mod:`repro.formats.registry`."""
 
-    RAW_CSV = "raw_csv"          # PostgresRaw in-situ CSV scan (PM + cache)
-    RAW_FITS = "raw_fits"        # PostgresRaw in-situ FITS scan
-    HEAP = "heap"                # loaded binary pages (conventional DBMS)
-    EXTERNAL_CSV = "external"    # external-files straw-man: full re-parse
+    RAW_CSV = "raw_csv"
+    RAW_FITS = "raw_fits"
+    HEAP = "heap"
+    EXTERNAL_CSV = "external"
 
 
 @dataclass(frozen=True)
@@ -98,17 +104,25 @@ class Schema:
 class TableInfo:
     """Everything the engine knows about one table.
 
-    ``path`` is the VFS path of the raw file (RAW/EXTERNAL kinds) or of
-    the heap file (HEAP kind). ``access`` is set by the owning engine to
-    the access-method object serving this table's scans. ``stats`` holds
-    optimizer statistics — for PostgresRaw these appear adaptively
-    (§4.4); for loaded engines they are built at load time.
+    ``path`` is the VFS path of the raw file (in-situ/external tables)
+    or of the heap file (loaded tables). ``format`` names the
+    :class:`~repro.formats.registry.FormatAdapter` that built — and at
+    DROP tears down — the table; ``options`` are its validated CREATE
+    options and ``external`` records a ``CREATE EXTERNAL TABLE``
+    binding. ``access`` is the access-method object serving this
+    table's scans. ``stats`` holds optimizer statistics — for
+    PostgresRaw these appear adaptively (§4.4); for loaded engines they
+    are built at load time. ``kind`` is the deprecated pre-registry
+    enum, accepted and stored but never consulted.
     """
 
     name: str
     schema: Schema
-    kind: TableKind
-    path: str
+    kind: TableKind | None = None
+    path: str = ""
+    format: str = ""
+    options: dict = field(default_factory=dict)
+    external: bool = False
     access: object | None = None
     stats: "TableStats | None" = None
     row_count_hint: int | None = None
@@ -140,11 +154,13 @@ class Catalog:
         key = name.lower()
         if key not in self._tables:
             raise CatalogError(f"unknown table: {name!r}")
-        # Retire the dropped table's stats version so the catalog epoch
-        # stays monotone — otherwise later arrivals on other tables
-        # could sum back to a previously seen epoch and a stale
-        # prepared plan would miss its re-plan.
-        self._retired_stats_epoch += self._tables[key].stats_epoch
+        # Retire the dropped table's stats version *plus one* so the
+        # catalog epoch strictly advances: plans cached before the drop
+        # must re-plan on their next execution — binding the new access
+        # method after a drop + re-register, or failing cleanly when
+        # the table is simply gone — and later stats arrivals on other
+        # tables can never sum back to a previously seen epoch.
+        self._retired_stats_epoch += self._tables[key].stats_epoch + 1
         del self._tables[key]
 
     def get(self, name: str) -> TableInfo:

@@ -1,0 +1,121 @@
+"""DDL execution: catalog statements through the format registry.
+
+``CREATE [EXTERNAL] TABLE`` is the paper's §3.1 "declare the schema and
+mark the table as in situ" step as real SQL: the format adapter
+resolved from ``USING <format>`` (or sniffed from the path) validates
+the options, supplies or checks the schema, and constructs the access
+method — including auxiliary-structure wiring. Engines contribute no
+format knowledge; they differ only in the policy attributes the
+adapters consult (see :mod:`repro.formats.registry`), which is exactly
+the paper's experimental control.
+
+Every statement returns ``(columns, rows)`` so DDL and SELECT flow
+through one result shape in both :meth:`repro.engines.base.Database.
+query` and the session/cursor path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError, ExecutionError
+from repro.formats.registry import get_format, sniff_format
+from repro.sql.ast_nodes import (
+    CreateTable,
+    DescribeTable,
+    DropTable,
+    ShowTables,
+)
+from repro.sql.catalog import Column, Schema, TableInfo
+
+Result = tuple[list[str], list[tuple]]
+
+
+def execute_ddl(engine, statement) -> Result:
+    """Run one DDL statement against ``engine``'s catalog."""
+    if isinstance(statement, CreateTable):
+        return _create_table(engine, statement)
+    if isinstance(statement, DropTable):
+        return _drop_table(engine, statement)
+    if isinstance(statement, ShowTables):
+        return _show_tables(engine)
+    if isinstance(statement, DescribeTable):
+        return _describe(engine, statement)
+    raise ExecutionError(
+        f"not a DDL statement: {type(statement).__name__}")
+
+
+def _create_table(engine, statement: CreateTable) -> Result:
+    if engine.catalog.has(statement.name):
+        # Fail before any auxiliary structure is built or file loaded.
+        raise CatalogError(
+            f"table already registered: {statement.name!r}")
+    path = statement.options.get("path", "")
+    if statement.format is not None:
+        adapter = get_format(statement.format)
+    else:
+        adapter = sniff_format(path if isinstance(path, str) else "")
+    options = adapter.validate_options(engine, dict(statement.options))
+
+    if statement.schema is not None:  # register_* shim channel
+        schema = statement.schema
+    elif statement.columns:
+        schema = Schema([Column(col.name, col.dtype, col.nullable)
+                         for col in statement.columns])
+    else:
+        schema = adapter.infer_schema(engine, options)
+        if schema is None:
+            raise CatalogError(
+                f"format {adapter.name!r} cannot infer a schema from "
+                f"{options.get('path')!r}; declare the columns in "
+                "CREATE TABLE (§3.1: the schema is a priori knowledge)")
+    if statement.columns or statement.schema is not None:
+        adapter.check_schema(engine, schema, options)
+
+    info = TableInfo(name=statement.name, schema=schema,
+                     path=options.get("path", ""), format=adapter.name,
+                     options=options, external=statement.external)
+    info.access = adapter.build_access(engine, info, options)
+    engine.catalog.register(info)
+    return ["status"], [(f"CREATE TABLE {statement.name}",)]
+
+
+def _drop_table(engine, statement: DropTable) -> Result:
+    """Unregister + tear down. Like unlinking an open file, DROP does
+    not wait for in-flight queries: a live scan that was reading the
+    raw file directly (cold) streams its remaining rows; one that was
+    navigating the positional map fails cleanly on its next fetch
+    (``ExecutionError``/``OperationalError`` advising a re-run). Drop
+    when the table is quiescent to avoid either."""
+    info = engine.catalog.get(statement.name)
+    try:
+        adapter = get_format(info.format) if info.format else None
+    except CatalogError:
+        adapter = None
+    if adapter is not None:
+        adapter.teardown(engine, info)
+    else:  # tables registered outside the registry: generic teardown
+        positional_map = getattr(info.access, "pm", None)
+        if positional_map is not None:
+            positional_map.drop()
+        cache = getattr(info.access, "cache", None)
+        if cache is not None:
+            cache.clear()
+    # Unbind so any still-cached plan node holding this TableInfo fails
+    # loudly instead of silently scanning a torn-down access method.
+    info.access = None
+    engine.catalog.drop(statement.name)
+    return ["status"], [(f"DROP TABLE {statement.name}",)]
+
+
+def _show_tables(engine) -> Result:
+    rows = [(info.name, info.format or "?", info.schema.arity, info.path)
+            for info in sorted(engine.catalog.tables(),
+                               key=lambda info: info.name.lower())]
+    return ["table", "format", "columns", "path"], rows
+
+
+def _describe(engine, statement: DescribeTable) -> Result:
+    info = engine.catalog.get(statement.name)
+    rows = [(column.name, column.dtype.name,
+             "YES" if column.nullable else "NO")
+            for column in info.schema]
+    return ["column", "type", "nullable"], rows

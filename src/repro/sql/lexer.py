@@ -13,6 +13,9 @@ KEYWORDS = {
     "is", "null", "exists", "case", "when", "then", "else", "end",
     "date", "interval", "day", "month", "year", "true", "false",
     "join", "inner", "on", "distinct", "explain",
+    # DDL statements (CREATE/DROP/SHOW/DESCRIBE)
+    "create", "external", "table", "using", "options", "drop", "show",
+    "tables", "describe",
 }
 
 

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
-from repro.errors import ParseError
+from repro.errors import ParseError, TypeError_
 from repro.sql.ast_nodes import (
     Between,
     BinaryOp,
     CaseExpr,
+    ColumnDef,
     ColumnRef,
+    CreateTable,
+    DescribeTable,
+    DropTable,
     Exists,
     Explain,
     Expr,
@@ -22,22 +26,26 @@ from repro.sql.ast_nodes import (
     Parameter,
     Select,
     SelectItem,
+    ShowTables,
     Star,
+    Statement,
     TableRef,
     UnaryOp,
 )
-from repro.sql.datatypes import DATE
+from repro.sql.datatypes import DATE, type_from_sql
 from repro.sql.lexer import Token, TokenType, tokenize
 
 _COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
 _INTERVAL_UNITS = {"day", "month", "year"}
 
 
-def parse(sql: str) -> Select | Explain:
-    """Parse one statement: ``SELECT ...`` or ``EXPLAIN SELECT ...``
-    (trailing ``;`` allowed). ``?`` placeholders become
-    :class:`~repro.sql.ast_nodes.Parameter` nodes sharing the
-    statement's :class:`~repro.sql.ast_nodes.ParamBinding`."""
+def parse(sql: str) -> Statement:
+    """Parse one statement (trailing ``;`` allowed): ``SELECT ...``,
+    ``EXPLAIN SELECT ...``, or DDL — ``CREATE [EXTERNAL] TABLE``,
+    ``DROP TABLE``, ``SHOW TABLES``, ``DESCRIBE``. ``?`` placeholders
+    in queries become :class:`~repro.sql.ast_nodes.Parameter` nodes
+    sharing the statement's
+    :class:`~repro.sql.ast_nodes.ParamBinding`."""
     return _Parser(tokenize(sql)).parse_statement()
 
 
@@ -104,13 +112,146 @@ class _Parser:
                              token)
 
     # -- statement ---------------------------------------------------------
-    def parse_statement(self) -> Select | Explain:
+    def parse_statement(self) -> Statement:
+        head = self.peek()
+        if head.is_keyword("create"):
+            return self._parse_create()
+        if head.is_keyword("drop"):
+            return self._parse_drop()
+        if head.is_keyword("show"):
+            self.advance()
+            self.expect_keyword("tables")
+            self.expect_eof()
+            return ShowTables()
+        if head.is_keyword("describe"):
+            self.advance()
+            name = self._expect_table_name()
+            self.expect_eof()
+            return DescribeTable(name)
         explain = bool(self.accept_keyword("explain"))
         select = self.parse_select()
         self.expect_eof()
         select.param_count = self._param_count
         select.binding = self._binding
         return Explain(select) if explain else select
+
+    # -- DDL ---------------------------------------------------------------
+    def _expect_table_name(self) -> str:
+        token = self.advance()
+        if token.type != TokenType.IDENT:
+            raise ParseError(
+                f"expected table name, got {token.value!r} at position "
+                f"{token.position}", token)
+        return token.value
+
+    def _parse_create(self) -> CreateTable:
+        self.expect_keyword("create")
+        external = bool(self.accept_keyword("external"))
+        self.expect_keyword("table")
+        name = self._expect_table_name()
+        columns: list[ColumnDef] = []
+        if self.accept_punct("("):
+            columns.append(self._parse_column_def())
+            while self.accept_punct(","):
+                columns.append(self._parse_column_def())
+            self.expect_punct(")")
+        fmt = None
+        if self.accept_keyword("using"):
+            token = self.advance()
+            if token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+                raise ParseError(
+                    f"expected format name after USING, got "
+                    f"{token.value!r} at position {token.position}", token)
+            fmt = token.value.lower()
+        options: dict = {}
+        if self.accept_keyword("options"):
+            self.expect_punct("(")
+            self._parse_option(options)
+            while self.accept_punct(","):
+                self._parse_option(options)
+            self.expect_punct(")")
+        self.expect_eof()
+        return CreateTable(name=name, columns=tuple(columns), format=fmt,
+                           options=options, external=external)
+
+    def _parse_column_def(self) -> ColumnDef:
+        name_token = self.advance()
+        if name_token.type == TokenType.KEYWORD:
+            # A keyword-named column could be declared but never
+            # referenced in a SELECT (expressions require IDENT), so
+            # refuse it here with a position instead of there.
+            raise ParseError(
+                f"{name_token.value!r} is a reserved word and cannot "
+                f"name a column (position {name_token.position})",
+                name_token)
+        if name_token.type != TokenType.IDENT:
+            raise ParseError(
+                f"expected column name, got {name_token.value!r} at "
+                f"position {name_token.position}", name_token)
+        type_token = self.advance()
+        if type_token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+            raise ParseError(
+                f"expected a type for column {name_token.value!r}, got "
+                f"{type_token.value!r} at position {type_token.position}",
+                type_token)
+        args: list[int] = []
+        if self.accept_punct("("):
+            while True:
+                arg = self.advance()
+                if arg.type != TokenType.NUMBER or "." in arg.value:
+                    raise ParseError(
+                        f"type arguments must be integers, got "
+                        f"{arg.value!r} at position {arg.position}", arg)
+                args.append(int(arg.value))
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct(")")
+        try:
+            dtype = type_from_sql(type_token.value, tuple(args))
+        except TypeError_ as exc:
+            raise ParseError(
+                f"{exc} at position {type_token.position}",
+                type_token) from exc
+        nullable = True
+        if self.accept_keyword("not"):
+            self.expect_keyword("null")
+            nullable = False
+        else:
+            self.accept_keyword("null")
+        return ColumnDef(name_token.value, dtype, nullable)
+
+    def _parse_option(self, options: dict) -> None:
+        key_token = self.advance()
+        if key_token.type not in (TokenType.IDENT, TokenType.KEYWORD):
+            raise ParseError(
+                f"expected option name, got {key_token.value!r} at "
+                f"position {key_token.position}", key_token)
+        key = key_token.value.lower()
+        if key in options:
+            raise ParseError(
+                f"duplicate option {key!r} at position "
+                f"{key_token.position}", key_token)
+        value_token = self.advance()
+        if value_token.type == TokenType.STRING:
+            value: object = value_token.value
+        elif value_token.type == TokenType.NUMBER:
+            value = (float(value_token.value)
+                     if "." in value_token.value else int(value_token.value))
+        elif value_token.is_keyword("true", "false"):
+            value = value_token.value == "true"
+        else:
+            raise ParseError(
+                f"option {key!r} needs a quoted string, number or "
+                f"boolean value, got {value_token.value!r} at position "
+                f"{value_token.position}", value_token)
+        options[key] = value
+
+    def _parse_drop(self) -> DropTable:
+        self.expect_keyword("drop")
+        self.expect_keyword("table")
+        name = self._expect_table_name()
+        self.expect_eof()
+        return DropTable(name)
 
     def parse_select(self) -> Select:
         self.expect_keyword("select")
