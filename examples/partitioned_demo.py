@@ -1,0 +1,73 @@
+"""Partitioned tables: a month of daily files, one glob, file pruning.
+
+A table declared over ``events-*.csv`` binds one child access method
+per matching file through the format registry. Every file accumulates
+its own NoDB auxiliary structures, and — the point of this demo — a
+per-file zone map (exact min/max per attribute, harvested from the
+statistics reservoirs the first time the file is scanned). Selective
+predicates then skip whole files: the second run of the date-range
+query below touches 3 files out of 30 and the virtual clock shows the
+saving.
+
+``partition_by 'd from filename'`` goes further: the filename's
+wildcard text is declared to be the column's value for every row, so
+pruning works before any file has ever been read.
+
+Run:  PYTHONPATH=src python examples/partitioned_demo.py
+"""
+
+import random
+
+import repro
+from repro import VirtualFS
+
+
+def main() -> None:
+    rng = random.Random(23)
+    vfs = VirtualFS()
+    for day in range(1, 31):
+        lines = "".join(
+            f"2024-06-{day:02d},{rng.randrange(1000)},"
+            f"{rng.uniform(0, 100):.2f}\n"
+            for _ in range(200))
+        vfs.create(f"events-2024-06-{day:02d}.csv", lines.encode())
+
+    session = repro.connect(vfs=vfs)
+    session.execute(
+        "CREATE TABLE IF NOT EXISTS events "
+        "(d DATE, user_id INTEGER, v FLOAT) "
+        "USING csv OPTIONS (path 'events-*.csv', "
+        "partition_by 'd from filename')")
+
+    range_sql = ("SELECT count(*), sum(v) FROM events "
+                 "WHERE d BETWEEN DATE '2024-06-10' "
+                 "AND DATE '2024-06-12'")
+
+    # Cold — but partition_by already knows each file's day: 3 of the
+    # 30 files are read, the other 27 are pruned without a byte.
+    cur = session.execute(range_sql)
+    print("3-day window:", cur.fetchall())
+    counters = cur.counters()
+    print(f"  files scanned: {counters.get('files_scanned', 0):.0f}, "
+          f"pruned: {counters.get('files_pruned', 0):.0f}")
+
+    # One full scan harvests zone maps for the *other* columns too...
+    session.execute("SELECT user_id, v FROM events").fetchall()
+
+    # ...so now a selective range on a data column prunes as well.
+    cur = session.execute("SELECT d FROM events WHERE v > 99.9")
+    spikes = cur.fetchall()
+    counters = cur.counters()
+    print(f"v > 99.9 on warm zones: {len(spikes)} rows, "
+          f"files scanned: {counters.get('files_scanned', 0):.0f}, "
+          f"pruned: {counters.get('files_pruned', 0):.0f}")
+
+    for line, in session.execute("EXPLAIN " + range_sql).fetchall():
+        print(" ", line)
+
+    session.execute("DROP TABLE IF EXISTS events")
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

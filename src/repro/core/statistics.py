@@ -26,6 +26,12 @@ class ReservoirSampler:
         self.sample: list = []
         self.seen = 0
         self.null_count = 0
+        # Exact min/max over *all* non-null values added (not just the
+        # reservoir survivors): sample extremes are unsound for zone-map
+        # pruning, true extremes are free to maintain.
+        self.vmin = None
+        self.vmax = None
+        self._orderable = True
         self._rng = random.Random(seed)
 
     def add(self, value) -> None:
@@ -33,6 +39,15 @@ class ReservoirSampler:
         if value is None:
             self.null_count += 1
             return
+        if self._orderable:
+            try:
+                if self.vmin is None or value < self.vmin:
+                    self.vmin = value
+                if self.vmax is None or value > self.vmax:
+                    self.vmax = value
+            except TypeError:
+                self.vmin = self.vmax = None
+                self._orderable = False
         if len(self.sample) < self.capacity:
             self.sample.append(value)
             return
@@ -77,5 +92,9 @@ class StatsCollector:
                 column = ColumnStats(name=name)
             column.merge_sample(sampler.sample, row_count,
                                 sampler.null_count, sampler.seen)
+            column.observed_min = sampler.vmin
+            column.observed_max = sampler.vmax
+            column.observed_rows = sampler.seen
+            column.observed_nulls = sampler.null_count
             table_stats.set_column(column)
         return table_stats

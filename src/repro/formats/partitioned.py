@@ -1,0 +1,667 @@
+"""Partitioned multi-file tables: a format wrapper with zone-map pruning.
+
+Real raw data is a *directory* of files, not one file. This wrapper
+extends the paper's adaptive-auxiliary-structure idea (§4) to file
+granularity: ``CREATE TABLE t (...) USING csv OPTIONS (path
+'events-*.csv')`` expands the glob, binds one child access method per
+file through the wrapped :class:`~repro.formats.registry.FormatAdapter`
+(csv, jsonl and fits work unchanged), and accumulates a **zone map**
+per file — exact min/max per attribute plus the row count — harvested
+from the child's §4.4 statistics reservoirs the first time each file is
+scanned. A predicate whose interval cannot intersect a file's zone
+skips the file entirely; the planner surfaces pruned/scanned file
+counts in EXPLAIN, and the scan charges them as the (deliberately
+zero-priced) ``files_scanned`` / ``files_pruned`` counters.
+
+Determinism contract (the PR-4 invariant at file granularity): children
+are scanned in canonical filename order. With a
+:class:`~repro.core.parallel.ScanWorkerPool` the scan dispatches whole
+files to workers, each charging into a
+:class:`~repro.simcost.model.RecordingModel` op log snapshotted at
+batch boundaries; the single-threaded merge replays the logs — and
+yields the buffered batches — in file order, so results, per-file
+positional-map/cache contents and every counter are bit-identical at
+any worker count. Two caveats, both deliberate: children never use the
+row-group pool themselves (file-level and group-level fan-out on one
+shared pool would deadlock), and a scan that *errors or is abandoned
+mid-flight* may leave speculatively scanned files with auxiliary state
+a serial scan would not have built yet (their recorded charges are
+discarded; on error those files' structures are reset). File fan-out
+also stays off when the simulated OS page cache is capacity-bounded —
+cross-file prefetch would make eviction order, and therefore warm/cold
+accounting, depend on thread timing.
+
+Zone-map soundness: bounds come from
+:class:`~repro.core.statistics.ReservoirSampler`'s exact extremes and
+are used only when the collecting scan observed *every* row of the
+file (true for WHERE attributes, and for all attributes of an
+unfiltered scan). SQL three-valued logic makes min/max over non-null
+values sufficient: NULL comparisons are UNKNOWN and UNKNOWN rows are
+filtered. A ``partition_by '<column> from filename'`` option
+additionally seeds each file's zone for that column from the
+filename's glob-wildcard text (hive-style partitioning: the user
+asserts every row's value equals the filename key), enabling pruning
+before any file has been scanned.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import CatalogError
+from repro.formats.registry import (
+    FormatAdapter,
+    get_format,
+    register_format,
+    sniff_format,
+)
+from repro.simcost.model import CostModel, RecordingModel
+from repro.sql.catalog import TableInfo
+from repro.sql.optimizer import zone_may_match
+from repro.sql.scanapi import ScanPredicate
+from repro.sql.stats import ColumnStats, TableStats
+
+_GLOB_CHARS = frozenset("*?[")
+_PARTITION_BY_RE = re.compile(
+    r"^\s*([A-Za-z_]\w*)\s+from\s+filename\s*$", re.IGNORECASE)
+
+
+def _is_glob(path) -> bool:
+    return isinstance(path, str) and any(ch in _GLOB_CHARS for ch in path)
+
+
+def maybe_wrap_partitioned(adapter: FormatAdapter,
+                           options: dict) -> FormatAdapter:
+    """Wrap ``adapter`` in a :class:`PartitionedAdapter` when the DDL
+    asked for a multi-file table (glob path or ``partition_by``)."""
+    if isinstance(adapter, PartitionedAdapter):
+        return adapter
+    if _is_glob(options.get("path")) or "partition_by" in options:
+        return PartitionedAdapter(inner=adapter)
+    return adapter
+
+
+def expand_glob(vfs, pattern: str) -> list[str]:
+    """VFS paths matching ``pattern``, sorted (the canonical child
+    order every scan and merge uses)."""
+    if not _is_glob(pattern):
+        return [pattern] if vfs.exists(pattern) else []
+    return sorted(path for path in vfs.listdir()
+                  if fnmatch.fnmatchcase(path, pattern))
+
+
+def _parse_partition_by(spec) -> str:
+    match = _PARTITION_BY_RE.match(spec) if isinstance(spec, str) else None
+    if match is None:
+        raise CatalogError(
+            f"option 'partition_by' must look like '<column> from "
+            f"filename', got {spec!r}")
+    return match.group(1).lower()
+
+
+def _key_extractor(pattern: str):
+    """Map a matched path to the text the glob wildcards consumed
+    (``events-*.csv`` + ``events-2024-01-07.csv`` -> ``2024-01-07``);
+    the whole stem for non-glob patterns."""
+    wild = [i for i, ch in enumerate(pattern) if ch in _GLOB_CHARS]
+    if not wild:
+        def stem(path: str) -> str | None:
+            base = path.rsplit("/", 1)[-1]
+            dot = base.rfind(".")
+            return base[:dot] if dot > 0 else base
+        return stem
+    prefix = pattern[:wild[0]]
+    suffix = pattern[wild[-1] + 1:]
+
+    def extract(path: str) -> str | None:
+        if (path.startswith(prefix) and path.endswith(suffix)
+                and len(path) >= len(prefix) + len(suffix)):
+            return path[len(prefix):len(path) - len(suffix)]
+        return None
+    return extract
+
+
+@dataclass
+class PartitionSelection:
+    """One pruning decision: how many files the predicate left alive."""
+
+    total: int
+    scanned: int
+    pruned: int
+    #: summed row count of surviving files when every one is known
+    est_rows: int | None = None
+
+
+class _ModelRouter(CostModel):
+    """A cost model whose charges are forwarded to a switchable target.
+
+    Every per-file object (child access, its positional map, cache and
+    statistics collectors) is built against one router. Serially the
+    target is the real (format-profile) model; while a pooled file task
+    runs, the worker points the target at its private
+    :class:`RecordingModel` so the merge can replay the charges in
+    canonical file order.
+    """
+
+    def __init__(self, target: CostModel):
+        super().__init__(clock=target.clock, profile=target.profile)
+        self.target = target
+
+    def charge(self, event, units: float = 1) -> None:
+        self.target.charge(event, units)
+
+
+class _EngineProxy:
+    """The engine facade handed to the wrapped adapter when building a
+    child access method: same machine (vfs/config/policy), but the
+    model is the child's router and there is no row-group pool (see
+    the module docstring's determinism contract)."""
+
+    def __init__(self, engine, model):
+        self.vfs = engine.vfs
+        self.model = model
+        self.config = getattr(engine, "config", None)
+        self.in_situ_policy = getattr(engine, "in_situ_policy", None)
+        self.scan_pool = None
+
+
+class _Partition:
+    """One file of a partitioned table: child access + zone map."""
+
+    __slots__ = ("path", "key", "info", "access", "router", "model",
+                 "zone", "row_count", "empty", "busy", "future",
+                 "_seen_rewrites", "_seen_size")
+
+    def __init__(self, path: str, key):
+        self.path = path
+        self.key = key
+        self.info: TableInfo | None = None
+        self.access = None
+        self.router: _ModelRouter | None = None
+        self.model: CostModel | None = None
+        self.zone: dict[str, tuple] = {}
+        self.row_count: int | None = None
+        self.empty = False
+        self.busy = False
+        self.future = None
+        self._seen_rewrites: int | None = None
+        self._seen_size = 0
+
+    def bounds_of(self, name: str):
+        if self.empty:
+            return (None, None)  # zero rows: nothing can match
+        return self.zone.get(name.lower())
+
+
+class PartitionedAccess:
+    """Access method over one glob of files, one child access each."""
+
+    batch_enabled = True
+
+    def __init__(self, engine, info: TableInfo, inner: FormatAdapter,
+                 options: dict):
+        self.engine = engine
+        self.vfs = engine.vfs
+        self.model = engine.model
+        self.table_info = info
+        self.schema = info.schema
+        self.inner = inner
+        self.options = options
+        self.pattern = options.get("path", "")
+        self.pool = getattr(engine, "scan_pool", None)
+        self.parts: list[_Partition] = []
+        self._by_path: dict[str, _Partition] = {}
+        self._live_scans = 0
+        self._folded = None
+        self.partition_column: str | None = None
+        spec = options.get("partition_by")
+        if spec is not None:
+            self.partition_column = _parse_partition_by(spec)
+            if not info.schema.has_column(self.partition_column):
+                raise CatalogError(
+                    f"partition_by column {self.partition_column!r} is "
+                    f"not in the schema of {info.name!r}")
+        self._extract_key = _key_extractor(self.pattern)
+        self._expand()
+        if not self.parts:
+            raise CatalogError(
+                f"no files match {self.pattern!r} for table "
+                f"{info.name!r}")
+
+    # -- partition lifecycle -------------------------------------------
+    def _child_options(self, path: str) -> dict:
+        child = {key: value for key, value in self.options.items()
+                 if key not in ("partition_by", "format")}
+        child["path"] = path
+        return child
+
+    def _build_part(self, path: str) -> _Partition:
+        key = self._extract_key(path)
+        part = _Partition(path, key)
+        part.model = CostModel(
+            self.model.clock,
+            self.inner.cost_profile(self.engine) or self.model.profile)
+        part.router = _ModelRouter(part.model)
+        child_options = self._child_options(path)
+        part.info = TableInfo(
+            name=f"{self.table_info.name}#{path}",
+            schema=self.schema, path=path, format=self.inner.name,
+            options=child_options, external=self.table_info.external)
+        proxy = _EngineProxy(self.engine, part.router)
+        part.access = self.inner.build_access(proxy, part.info,
+                                              child_options)
+        part._seen_rewrites = self.vfs.rewrite_count(path)
+        part._seen_size = self.vfs.size(path)
+        if self.partition_column is not None:
+            part.zone[self.partition_column] = self._seed_bounds(part)
+        return part
+
+    def _seed_bounds(self, part: _Partition) -> tuple:
+        if part.key is None:
+            raise CatalogError(
+                f"cannot derive a partition key for {part.path!r} from "
+                f"pattern {self.pattern!r}")
+        idx = self.schema.index_of(self.partition_column)
+        try:
+            value = self.schema.columns[idx].dtype.parse(part.key)
+        except Exception as exc:
+            raise CatalogError(
+                f"partition key {part.key!r} of {part.path!r} is not a "
+                f"valid {self.schema.columns[idx].dtype.name}: {exc}"
+            ) from exc
+        return (value, value)
+
+    def _teardown_part(self, part: _Partition) -> None:
+        positional_map = getattr(part.access, "pm", None)
+        if positional_map is not None:
+            positional_map.drop()
+        cache = getattr(part.access, "cache", None)
+        if cache is not None:
+            cache.clear()
+        part.access = None
+
+    def _expand(self) -> None:
+        """(Re-)expand the glob: new files appear in sorted order,
+        vanished files are torn down. Pure catalog work — uncosted."""
+        matched = expand_glob(self.vfs, self.pattern)
+        matched_set = set(matched)
+        for path in list(self._by_path):
+            if path not in matched_set:
+                self._teardown_part(self._by_path.pop(path))
+        for path in matched:
+            if path not in self._by_path:
+                self._by_path[path] = self._build_part(path)
+        self.parts = [self._by_path[path] for path in matched]
+
+    def _reset_part(self, part: _Partition) -> None:
+        """Back to a cold, zone-less state (file changed externally, or
+        a speculative worker scan had to be discarded)."""
+        positional_map = getattr(part.access, "pm", None)
+        if positional_map is not None:
+            positional_map.drop()
+        cache = getattr(part.access, "cache", None)
+        if cache is not None:
+            cache.clear()
+        part.info.stats = None
+        part.info.row_count_hint = None
+        if hasattr(part.access, "row_count"):
+            part.access.row_count = None
+        part.zone = {}
+        part.row_count = None
+        part.empty = False
+        if self.partition_column is not None:
+            part.zone[self.partition_column] = self._seed_bounds(part)
+
+    # -- AccessMethod protocol -----------------------------------------
+    def refresh(self) -> None:
+        self._expand()
+        for part in self.parts:
+            refresh = getattr(part.access, "refresh", None)
+            if refresh is not None:
+                refresh()
+            rewrites = self.vfs.rewrite_count(part.path)
+            size = self.vfs.size(part.path)
+            if part._seen_rewrites is None:
+                part._seen_rewrites, part._seen_size = rewrites, size
+                continue
+            if rewrites != part._seen_rewrites or size > part._seen_size:
+                # Rewritten or appended: the zone (and the child stats
+                # it was harvested from) no longer covers every row.
+                part.info.stats = None
+                part.zone = {}
+                part.row_count = None
+                part.empty = False
+                if self.partition_column is not None:
+                    part.zone[self.partition_column] = \
+                        self._seed_bounds(part)
+            part._seen_rewrites, part._seen_size = rewrites, size
+
+    def estimated_rows(self) -> int | None:
+        rows = 0
+        for part in self.parts:
+            if part.row_count is None:
+                return None
+            rows += part.row_count
+        return rows
+
+    # -- pruning --------------------------------------------------------
+    def _split(self, conjuncts: list) -> tuple[list, list]:
+        if not conjuncts:
+            return list(self.parts), []
+        survivors: list[_Partition] = []
+        pruned: list[_Partition] = []
+        for part in self.parts:
+            if all(zone_may_match(conjunct, part.bounds_of)
+                   for conjunct in conjuncts):
+                survivors.append(part)
+            else:
+                pruned.append(part)
+        return survivors, pruned
+
+    def select_partitions(self, conjuncts: list | None
+                          ) -> PartitionSelection:
+        """The pruning decision for a conjunct list — consulted by the
+        planner for EXPLAIN/estimates and by every scan for the real
+        file selection. Free of virtual time (catalog work)."""
+        survivors, pruned = self._split(list(conjuncts or []))
+        est: int | None = 0
+        for part in survivors:
+            if part.row_count is None:
+                est = None
+                break
+            est += part.row_count
+        return PartitionSelection(total=len(self.parts),
+                                  scanned=len(survivors),
+                                  pruned=len(pruned), est_rows=est)
+
+    # -- scanning -------------------------------------------------------
+    def scan(self, needed: Sequence[int],
+             predicate: ScanPredicate | None) -> Iterator[tuple]:
+        for batch in self.scan_batches(needed, predicate):
+            self.model.materialize_rows(batch.nrows)
+            yield from batch.iter_rows()
+
+    def scan_batches(self, needed: Sequence[int],
+                     predicate: ScanPredicate | None):
+        conjuncts = (list(predicate.conjuncts or [])
+                     if predicate is not None else [])
+        survivors, pruned = self._split(conjuncts)
+        self.model.files_scanned(len(survivors))
+        self.model.files_pruned(len(pruned))
+        fan_out = (
+            self.pool is not None and len(survivors) > 1
+            and self._live_scans == 0
+            and self.vfs.os_cache.capacity_bytes is None)
+        self._live_scans += 1
+        try:
+            if fan_out:
+                yield from self._scan_fanout(survivors, needed,
+                                             predicate)
+            else:
+                for part in survivors:
+                    self._wait_idle(part)
+                    yield from self._scan_inline(part, needed,
+                                                 predicate)
+            self._fold_parent_stats()
+        finally:
+            self._live_scans -= 1
+
+    def _scan_inline(self, part: _Partition, needed, predicate):
+        yield from part.access.scan_batches(needed, predicate)
+        self._harvest(part)
+
+    def _wait_idle(self, part: _Partition) -> None:
+        """Block until a pooled task on ``part`` (dispatched by an
+        overlapping scan) finishes — workers never wait on the main
+        thread, so this cannot deadlock."""
+        while part.busy:
+            future = part.future
+            if future is None:
+                break
+            future.result()
+
+    # -- file-level fan-out ---------------------------------------------
+    def _run_child(self, part: _Partition, recorder: RecordingModel,
+                   needed, predicate):
+        """Worker body: run one child scan to completion, charges
+        routed into ``recorder`` and snapshotted at batch boundaries so
+        the merge can interleave replay and yield exactly like the
+        serial scan."""
+        chunks: list[tuple[list, object]] = []
+        error = None
+        try:
+            part.router.target = recorder
+            try:
+                for batch in part.access.scan_batches(needed, predicate):
+                    chunks.append((recorder.take_ops(), batch))
+            except Exception as exc:  # replayed, then re-raised in order
+                error = exc
+            chunks.append((recorder.take_ops(), None))
+        finally:
+            part.router.target = part.model
+            part.busy = False
+        return chunks, error
+
+    def _scan_fanout(self, survivors: list, needed, predicate):
+        window = max(1, self.pool.workers)
+        pending: dict[int, RecordingModel] = {}
+
+        def dispatch(i: int) -> None:
+            part = survivors[i]
+            if part.busy:
+                return  # another query's task owns it: inline later
+            recorder = RecordingModel()
+            part.busy = True
+            part.future = self.pool.submit(
+                self._run_child, part, recorder, needed, predicate)
+            pending[i] = recorder
+
+        for i in range(min(window, len(survivors))):
+            dispatch(i)
+        abort = None
+        for i, part in enumerate(survivors):
+            recorder = pending.pop(i, None)
+            if recorder is None:
+                self._wait_idle(part)
+                yield from self._scan_inline(part, needed, predicate)
+            else:
+                chunks, error = part.future.result()
+                for ops, batch in chunks:
+                    for _tag, event, units in ops:
+                        part.model.charge(event, units)
+                    if batch is not None:
+                        yield batch
+                if error is not None:
+                    abort = error
+                    break
+                self._harvest(part)
+            if i + window < len(survivors):
+                dispatch(i + window)
+        if abort is not None:
+            # The serial scan never reached the speculatively
+            # dispatched files: discard their charges and reset their
+            # structures to a clean cold state.
+            for j in sorted(pending):
+                survivors[j].future.result()
+                self._reset_part(survivors[j])
+            raise abort
+
+    # -- zone-map harvesting ---------------------------------------------
+    def _harvest(self, part: _Partition) -> None:
+        """After a completed child scan, lift the child's §4.4 exact
+        extremes into the file's zone map — but only for attributes
+        whose collection observed every row of the file."""
+        estimated = getattr(part.access, "estimated_rows", None)
+        rows = estimated() if estimated is not None else None
+        if rows is None:
+            return
+        part.row_count = rows
+        part.empty = rows == 0
+        stats = part.info.stats
+        if stats is None or rows == 0:
+            return
+        for column in self.schema:
+            col = stats.column(column.name)
+            if col is None or col.observed_rows != rows:
+                continue
+            if (col.observed_min is None
+                    and col.observed_nulls < col.observed_rows):
+                continue  # unorderable values: no usable bounds
+            part.zone[column.name.lower()] = (col.observed_min,
+                                              col.observed_max)
+
+    def _fold_parent_stats(self) -> None:
+        """Aggregate child statistics into the parent's TableStats so
+        the optimizer (and prepared-statement re-planning via the
+        catalog stats epoch) sees the table, not the files. Idempotent
+        per child-stats state — no version churn without new data."""
+        state = tuple(
+            (part.info.stats.version if part.info.stats else 0,
+             part.row_count)
+            for part in self.parts)
+        if state == self._folded:
+            return
+        self._folded = state
+        if any(part.row_count is None for part in self.parts):
+            return
+        total = sum(part.row_count for part in self.parts)
+        stats = self.table_info.stats or TableStats()
+        stats.set_row_count(total)
+        for column in self.schema:
+            merged = self._merge_column(column.name, total)
+            if merged is None:
+                continue
+            existing = stats.column(column.name)
+            if existing is not None and (
+                    existing.null_frac, existing.n_distinct,
+                    existing.min_value, existing.max_value) == (
+                    merged.null_frac, merged.n_distinct,
+                    merged.min_value, merged.max_value):
+                continue
+            stats.set_column(merged)
+        self.table_info.stats = stats
+        self.table_info.row_count_hint = total
+
+    def _merge_column(self, name: str, total_rows: int
+                      ) -> ColumnStats | None:
+        children = []
+        for part in self.parts:
+            if part.info.stats is None:
+                return None
+            col = part.info.stats.column(name)
+            if col is None:
+                return None
+            children.append((part.row_count or 0, col))
+        if not children:
+            return None
+        merged = ColumnStats(name=name)
+        weight = sum(rows for rows, _ in children)
+        if weight:
+            merged.null_frac = sum(
+                rows * col.null_frac for rows, col in children) / weight
+        merged.n_distinct = min(
+            float(max(total_rows, 1)),
+            sum(max(col.n_distinct, 1.0) for _, col in children))
+        mins = [col.min_value for _, col in children
+                if col.min_value is not None]
+        maxs = [col.max_value for _, col in children
+                if col.max_value is not None]
+        try:
+            merged.min_value = min(mins) if mins else None
+            merged.max_value = max(maxs) if maxs else None
+        except TypeError:
+            merged.min_value = merged.max_value = None
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# Adapter
+# ---------------------------------------------------------------------------
+class PartitionedAdapter(FormatAdapter):
+    """The wrapper adapter. Reached two ways: automatically, when a
+    CREATE's path contains glob characters (or a ``partition_by``
+    option) — the resolved inner adapter is wrapped per-table — or
+    explicitly via ``USING partitioned OPTIONS (format 'csv', ...)``
+    through the registry singleton."""
+
+    name = "partitioned"
+
+    def __init__(self, inner: FormatAdapter | None = None):
+        self.inner = inner
+
+    def _resolve_inner(self, options: dict) -> FormatAdapter:
+        if self.inner is not None:
+            return self.inner
+        fmt = options.get("format")
+        if fmt is not None:
+            inner = get_format(str(fmt))
+        else:
+            inner = sniff_format(str(options.get("path", "")))
+        if isinstance(inner, PartitionedAdapter):
+            raise CatalogError("cannot nest partitioned formats")
+        return inner
+
+    def _child_options(self, options: dict, path: str) -> dict:
+        child = {key: value for key, value in options.items()
+                 if key not in ("partition_by", "format")}
+        child["path"] = path
+        return child
+
+    def validate_options(self, engine, options: dict) -> dict:
+        options = dict(options)
+        pattern = options.get("path")
+        if not isinstance(pattern, str) or not pattern:
+            raise CatalogError(
+                "option 'path' must be a file path or glob pattern")
+        inner = self._resolve_inner(options)
+        unknown = (set(options)
+                   - set(inner.allowed_options)
+                   - {"partition_by", "format"})
+        if unknown:
+            raise CatalogError(
+                f"format {inner.name!r} (partitioned) does not accept "
+                f"option(s) {sorted(unknown)}")
+        if "partition_by" in options:
+            _parse_partition_by(options["partition_by"])
+        paths = expand_glob(engine.vfs, pattern)
+        if not paths:
+            raise CatalogError(f"no files match {pattern!r}")
+        for path in paths:
+            inner.validate_options(engine,
+                                   self._child_options(options, path))
+        return options
+
+    def infer_schema(self, engine, options: dict):
+        inner = self._resolve_inner(options)
+        paths = expand_glob(engine.vfs, options.get("path", ""))
+        if not paths:
+            return None
+        return inner.infer_schema(
+            engine, self._child_options(options, paths[0]))
+
+    def check_schema(self, engine, schema, options: dict) -> None:
+        inner = self._resolve_inner(options)
+        for path in expand_glob(engine.vfs, options.get("path", "")):
+            inner.check_schema(engine,
+                               schema, self._child_options(options, path))
+
+    def build_access(self, engine, info, options: dict):
+        inner = self._resolve_inner(options)
+        return PartitionedAccess(engine, info, inner, options)
+
+    def teardown(self, engine, info) -> None:
+        prewarmer = info.extra.pop("prewarmer", None)
+        if prewarmer is not None:
+            prewarmer.detach()
+        access = info.access
+        if isinstance(access, PartitionedAccess):
+            for part in access.parts:
+                access._teardown_part(part)
+            access.parts = []
+            access._by_path.clear()
+
+
+register_format(PartitionedAdapter())

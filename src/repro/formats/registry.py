@@ -105,6 +105,31 @@ class FormatAdapter:
         config call for."""
         raise NotImplementedError
 
+    def cost_profile(self, engine) -> "object | None":
+        """Per-format :class:`~repro.simcost.profiles.CostProfile`
+        override, or None to bill at the engine's profile. A format
+        whose raw-file CPU work is priced differently from the
+        engine's calibration (e.g. JSONL tokenization is string/escape
+        aware, ~3x a delimiter scan per byte) returns an adjusted
+        profile here; :meth:`scan_model` applies it. Must be
+        idempotent under re-derivation (it may be called with an
+        engine whose model already carries the override)."""
+        return None
+
+    def scan_model(self, engine):
+        """The cost model this format's access method should charge:
+        the engine's own model when :meth:`cost_profile` returns None
+        (or returns the profile already in force), otherwise a model
+        sharing the engine's clock but priced at the format profile —
+        one ledger, per-format rates."""
+        from repro.simcost.model import CostModel
+
+        model = engine.model
+        profile = self.cost_profile(engine)
+        if profile is None or profile == model.profile:
+            return model
+        return CostModel(model.clock, profile)
+
     def teardown(self, engine, info: "TableInfo") -> None:
         """Release per-table auxiliary state at ``DROP TABLE``: the
         default drops the positional map and cache (always safe, §4.2)
@@ -122,7 +147,8 @@ class FormatAdapter:
             cache.clear()
 
     # ------------------------------------------------------------------
-    def build_raw_structures(self, engine, info: "TableInfo"):
+    def build_raw_structures(self, engine, info: "TableInfo",
+                             model=None):
         """The standard auxiliary-structure wiring for an in-situ
         table under a ``"raw"`` policy: a :class:`~repro.core.
         positional_map.PositionalMap` (kept even in cache-only mode —
@@ -136,16 +162,17 @@ class FormatAdapter:
         from repro.core.positional_map import PositionalMap
 
         config = engine.config
+        model = model if model is not None else engine.model
         positional_map = None
         if config.enable_positional_map or config.enable_cache:
             positional_map = PositionalMap(
-                engine.model, info.schema.arity,
+                model, info.schema.arity,
                 row_block_size=config.row_block_size,
                 budget_bytes=config.pm_budget_bytes,
                 spill_vfs=engine.vfs if config.pm_spill_enabled else None,
                 spill_prefix=f"{config.pm_spill_path}/{info.name.lower()}",
             )
-        cache = (BinaryCache(engine.model, config.cache_budget_bytes)
+        cache = (BinaryCache(model, config.cache_budget_bytes)
                  if config.enable_cache else None)
         return positional_map, cache
 

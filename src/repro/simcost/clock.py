@@ -45,6 +45,8 @@ class CostEvent(enum.Enum):
     TUPLE_OVERHEAD = "tuple_overhead"        # per-tuple executor overhead
     STATS_SAMPLE = "stats_sample"            # values sampled into statistics
     QUERY_OVERHEAD = "query_overhead"        # per-query setup (parse/plan)
+    FILES_SCANNED = "files_scanned"          # partition files actually scanned
+    FILES_PRUNED = "files_pruned"            # partition files skipped via zone maps
 
 
 @dataclass
@@ -57,6 +59,13 @@ class VirtualClock:
 
     seconds: float = 0.0
     counters: Counter = field(default_factory=Counter)
+    #: Observability counter (not a priced event, not in ``counters``):
+    #: per-row Python tuples materialized from columnar batches at
+    #: operator boundaries. It lives on the clock — not on the
+    #: :class:`~repro.simcost.model.CostModel` — so every model sharing
+    #: one engine clock (e.g. per-format cost-profile models) aggregates
+    #: into the same total.
+    rows_materialized: int = 0
 
     def charge(self, event: CostEvent, units: float, rate: float) -> None:
         """Record ``units`` of ``event`` priced at ``rate`` seconds/unit."""
@@ -95,3 +104,4 @@ class VirtualClock:
         """Zero the clock and all counters."""
         self.seconds = 0.0
         self.counters.clear()
+        self.rows_materialized = 0

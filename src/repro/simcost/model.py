@@ -58,16 +58,26 @@ class CostModel:
     ):
         self.clock = clock if clock is not None else VirtualClock()
         self.profile = profile
-        #: Observability counter (NOT a priced event, NOT in the clock
-        #: ledger): per-row Python tuples materialized from columnar
-        #: batches at operator boundaries — scan shims transposing
-        #: batches into rows, and operator batch paths falling back to
-        #: row-at-a-time evaluation. Final result assembly (draining
-        #: the plan root into a QueryResult or cursor buffer) does not
-        #: count. In ``batch_mode`` a fully columnar plan keeps this at
-        #: zero; it is kept out of the clock counters so batch/scalar
-        #: cost parity assertions stay byte-identical.
-        self.rows_materialized = 0
+
+    @property
+    def rows_materialized(self) -> int:
+        """Observability counter (NOT a priced event, NOT in the clock
+        ledger): per-row Python tuples materialized from columnar
+        batches at operator boundaries — scan shims transposing
+        batches into rows, and operator batch paths falling back to
+        row-at-a-time evaluation. Final result assembly (draining
+        the plan root into a QueryResult or cursor buffer) does not
+        count. In ``batch_mode`` a fully columnar plan keeps this at
+        zero; it is kept out of the clock counters so batch/scalar
+        cost parity assertions stay byte-identical. The storage lives
+        on the shared clock so per-format models (one engine clock,
+        several :class:`CostProfile` bindings) aggregate into one
+        engine-level total."""
+        return self.clock.rows_materialized
+
+    @rows_materialized.setter
+    def rows_materialized(self, value: int) -> None:
+        self.clock.rows_materialized = value
 
     def charge(self, event: CostEvent, units: float = 1) -> None:
         """Charge ``units`` of an arbitrary event."""
@@ -141,6 +151,13 @@ class CostModel:
 
     def query_overhead(self) -> None:
         self.charge(CostEvent.QUERY_OVERHEAD, 1)
+
+    # -- partitioned tables --------------------------------------------------
+    def files_scanned(self, count: int = 1) -> None:
+        self.charge(CostEvent.FILES_SCANNED, count)
+
+    def files_pruned(self, count: int = 1) -> None:
+        self.charge(CostEvent.FILES_PRUNED, count)
 
     # -- loaded-engine binary pages ------------------------------------------
     def deserialize(self, nattrs: int) -> None:

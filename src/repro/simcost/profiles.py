@@ -67,6 +67,11 @@ class CostProfile:
     # scaled down ~1000x from the paper's, so this is scaled likewise
     # to keep plan overhead from drowning the adaptive effects.
     query_overhead: float = 1e-4
+    # Partition-pruning observability counters: free of virtual time by
+    # design, so a partitioned table that prunes nothing stays cost-
+    # identical to the same rows in one file.
+    files_scanned: float = 0.0
+    files_pruned: float = 0.0
 
     def rate(self, event: CostEvent) -> float:
         """The price of one unit of ``event`` under this profile."""

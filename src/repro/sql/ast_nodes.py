@@ -227,6 +227,8 @@ class CreateTable:
     options: dict = field(default_factory=dict)
     external: bool = False
     schema: object | None = None
+    #: ``IF NOT EXISTS``: an existing name is a no-op, not an error
+    if_not_exists: bool = False
 
 
 @dataclass(frozen=True)
@@ -234,6 +236,8 @@ class DropTable:
     """``DROP TABLE t``: unregister + tear down auxiliary structures."""
 
     name: str
+    #: ``IF EXISTS``: a missing name is a no-op, not an error
+    if_exists: bool = False
 
 
 @dataclass(frozen=True)

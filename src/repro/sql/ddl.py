@@ -17,6 +17,7 @@ query` and the session/cursor path.
 from __future__ import annotations
 
 from repro.errors import CatalogError, ExecutionError
+from repro.formats.partitioned import maybe_wrap_partitioned
 from repro.formats.registry import get_format, sniff_format
 from repro.sql.ast_nodes import (
     CreateTable,
@@ -45,6 +46,9 @@ def execute_ddl(engine, statement) -> Result:
 
 def _create_table(engine, statement: CreateTable) -> Result:
     if engine.catalog.has(statement.name):
+        if statement.if_not_exists:
+            return ["status"], [
+                (f"CREATE TABLE {statement.name} skipped (exists)",)]
         # Fail before any auxiliary structure is built or file loaded.
         raise CatalogError(
             f"table already registered: {statement.name!r}")
@@ -53,6 +57,10 @@ def _create_table(engine, statement: CreateTable) -> Result:
         adapter = get_format(statement.format)
     else:
         adapter = sniff_format(path if isinstance(path, str) else "")
+    # A glob path (or partition_by) turns any raw format into a
+    # partitioned table: the wrapper binds one child access per file
+    # through the adapter resolved above.
+    adapter = maybe_wrap_partitioned(adapter, statement.options)
     options = adapter.validate_options(engine, dict(statement.options))
 
     if statement.schema is not None:  # register_* shim channel
@@ -85,6 +93,9 @@ def _drop_table(engine, statement: DropTable) -> Result:
     navigating the positional map fails cleanly on its next fetch
     (``ExecutionError``/``OperationalError`` advising a re-run). Drop
     when the table is quiescent to avoid either."""
+    if statement.if_exists and not engine.catalog.has(statement.name):
+        return ["status"], [
+            (f"DROP TABLE {statement.name} skipped (absent)",)]
     info = engine.catalog.get(statement.name)
     try:
         adapter = get_format(info.format) if info.format else None

@@ -15,7 +15,7 @@ KEYWORDS = {
     "join", "inner", "on", "distinct", "explain",
     # DDL statements (CREATE/DROP/SHOW/DESCRIBE)
     "create", "external", "table", "using", "options", "drop", "show",
-    "tables", "describe",
+    "tables", "describe", "if",
 }
 
 

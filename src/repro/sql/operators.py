@@ -156,6 +156,8 @@ class ScanOp(PlanOp):
         self.needed = list(needed)
         self.predicate = predicate
         self.table_name = table_name
+        # Plan-time PartitionSelection for partitioned tables (EXPLAIN).
+        self.partitions = None
 
     def rows(self) -> Iterator[tuple]:
         return self.access.scan(self.needed, self.predicate)
@@ -171,7 +173,7 @@ class ScanOp(PlanOp):
         return super().batches()
 
     def describe(self) -> dict:
-        return {
+        out = {
             "op": "Scan",
             "table": self.table_name,
             "access": type(self.access).__name__,
@@ -179,6 +181,11 @@ class ScanOp(PlanOp):
             "pushed_predicates": (self.predicate.n_terms
                                   if self.predicate else 0),
         }
+        if self.partitions is not None:
+            out["files"] = self.partitions.total
+            out["files_scanned"] = self.partitions.scanned
+            out["files_pruned"] = self.partitions.pruned
+        return out
 
 
 class FilterOp(PlanOp):

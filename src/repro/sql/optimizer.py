@@ -41,6 +41,162 @@ def _constant_value(expr):
         return None
 
 
+def normalize_comparison(comparison: BinaryOp):
+    """Return (column_ref, constant_value, op) with the column on the
+    left, or (None, None, op) when not a col-vs-const comparison."""
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=",
+            "<>": "<>"}
+    left, right, op = comparison.left, comparison.right, comparison.op
+    if isinstance(left, ColumnRef) and not isinstance(right, ColumnRef):
+        return left, _constant_value(right), op
+    if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
+        return right, _constant_value(left), flip[op]
+    return None, None, op
+
+
+# ---------------------------------------------------------------------------
+# Zone-map pruning (partitioned tables)
+# ---------------------------------------------------------------------------
+# ``bounds_of(column_name)`` describes one file's zone for a column:
+#   None          -> nothing complete is known: the file may match anything
+#   (lo, hi)      -> exact min/max over every non-null value in the file
+#                    (the file may additionally hold NULLs)
+#   (None, None)  -> complete knowledge that every value is NULL
+#
+# ``zone_may_match`` is three-valued-logic sound: a conjunct excludes a
+# file only when no row can evaluate to TRUE under it — NULL comparisons
+# are UNKNOWN, and UNKNOWN rows are filtered, so bounds over non-null
+# values suffice. Anything the analysis does not understand answers
+# "may match" (never prunes a file it should scan).
+
+def zone_may_match(conjunct, bounds_of) -> bool:
+    """False only when provably no row of the zone satisfies
+    ``conjunct``."""
+    if isinstance(conjunct, UnaryOp) and conjunct.op == "not":
+        # NOT P is TRUE only where P is FALSE (not where P is UNKNOWN).
+        return zone_may_fail(conjunct.operand, bounds_of)
+    if isinstance(conjunct, BinaryOp):
+        if conjunct.op == "and":
+            return (zone_may_match(conjunct.left, bounds_of)
+                    and zone_may_match(conjunct.right, bounds_of))
+        if conjunct.op == "or":
+            return (zone_may_match(conjunct.left, bounds_of)
+                    or zone_may_match(conjunct.right, bounds_of))
+        if conjunct.op in ("=", "<>", "<", "<=", ">", ">="):
+            ref, value, op = normalize_comparison(conjunct)
+            if ref is None or value is None:
+                return True
+            return _zone_comparison(ref, value, op, bounds_of,
+                                    negate=False)
+    if isinstance(conjunct, Between):
+        return _zone_between(conjunct, bounds_of)
+    if isinstance(conjunct, InList):
+        return _zone_in_list(conjunct, bounds_of)
+    return True
+
+
+def zone_may_fail(conjunct, bounds_of) -> bool:
+    """False only when provably no row makes ``conjunct`` FALSE (rows
+    where it is UNKNOWN do not count — ``NOT UNKNOWN`` is UNKNOWN and
+    still filtered)."""
+    if isinstance(conjunct, UnaryOp) and conjunct.op == "not":
+        return zone_may_match(conjunct.operand, bounds_of)
+    if isinstance(conjunct, BinaryOp):
+        if conjunct.op == "and":
+            return (zone_may_fail(conjunct.left, bounds_of)
+                    or zone_may_fail(conjunct.right, bounds_of))
+        if conjunct.op == "or":
+            return (zone_may_fail(conjunct.left, bounds_of)
+                    and zone_may_fail(conjunct.right, bounds_of))
+        if conjunct.op in ("=", "<>", "<", "<=", ">", ">="):
+            ref, value, op = normalize_comparison(conjunct)
+            if ref is None or value is None:
+                return True
+            return _zone_comparison(ref, value, op, bounds_of,
+                                    negate=True)
+    return True
+
+
+def _zone_comparison(ref, value, op, bounds_of, negate: bool) -> bool:
+    bounds = bounds_of(ref.name)
+    if bounds is None:
+        return True
+    lo, hi = bounds
+    if lo is None or hi is None:
+        # Every value NULL: the comparison is never TRUE and never
+        # FALSE — only UNKNOWN.
+        return False
+    try:
+        if not negate:
+            if op == "=":
+                return lo <= value <= hi
+            if op == "<>":
+                return not (lo == hi == value)
+            if op == "<":
+                return lo < value
+            if op == "<=":
+                return lo <= value
+            if op == ">":
+                return hi > value
+            return hi >= value  # ">="
+        # May some non-null row make the comparison FALSE?
+        if op == "=":
+            return not (lo == hi == value)
+        if op == "<>":
+            return lo <= value <= hi
+        if op == "<":
+            return hi >= value
+        if op == "<=":
+            return hi > value
+        if op == ">":
+            return lo <= value
+        return lo < value  # ">="
+    except TypeError:
+        return True
+
+
+def _zone_between(between: Between, bounds_of) -> bool:
+    if not isinstance(between.operand, ColumnRef):
+        return True
+    bounds = bounds_of(between.operand.name)
+    if bounds is None:
+        return True
+    lo, hi = bounds
+    if lo is None or hi is None:
+        return False  # all NULL: BETWEEN (negated or not) never TRUE
+    low = _constant_value(between.low)
+    high = _constant_value(between.high)
+    if low is None or high is None:
+        return True
+    try:
+        if between.negated:
+            return lo < low or hi > high
+        return hi >= low and lo <= high
+    except TypeError:
+        return True
+
+
+def _zone_in_list(in_list: InList, bounds_of) -> bool:
+    if not isinstance(in_list.operand, ColumnRef):
+        return True
+    bounds = bounds_of(in_list.operand.name)
+    if bounds is None:
+        return True
+    lo, hi = bounds
+    if lo is None or hi is None:
+        return False  # all NULL: IN / NOT IN never TRUE
+    values = [_constant_value(item) for item in in_list.items]
+    if any(value is None for value in values):
+        return True
+    try:
+        if in_list.negated:
+            # Excludable only when every row equals one listed constant.
+            return not (lo == hi and any(v == lo for v in values))
+        return any(lo <= v <= hi for v in values)
+    except TypeError:
+        return True
+
+
 class Optimizer:
     """Cardinality estimation + plan-shape decisions for one query."""
 
@@ -55,8 +211,12 @@ class Optimizer:
             return float(info.row_count_hint)
         return DEFAULT_ROWS
 
-    def scan_rows(self, info: TableInfo, pushed_conjuncts: list) -> float:
-        rows = self.base_rows(info)
+    def scan_rows(self, info: TableInfo, pushed_conjuncts: list,
+                  base_rows: float | None = None) -> float:
+        """Estimated scan output. ``base_rows`` overrides the stats/
+        hint-derived input cardinality — the planner passes the summed
+        row counts of surviving partitions for zone-pruned scans."""
+        rows = base_rows if base_rows is not None else self.base_rows(info)
         for conjunct in pushed_conjuncts:
             rows *= self.conjunct_selectivity(info, conjunct)
         return max(rows, 1.0)
@@ -116,16 +276,7 @@ class Optimizer:
         return stats.selectivity_range(op, value)
 
     def _normalize_comparison(self, comparison: BinaryOp):
-        """Return (column_ref, constant_value, op) with the column on the
-        left, or (None, None, op) when not a col-vs-const comparison."""
-        flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=",
-                "<>": "<>"}
-        left, right, op = comparison.left, comparison.right, comparison.op
-        if isinstance(left, ColumnRef) and not isinstance(right, ColumnRef):
-            return left, _constant_value(right), op
-        if isinstance(right, ColumnRef) and not isinstance(left, ColumnRef):
-            return right, _constant_value(left), flip[op]
-        return None, None, op
+        return normalize_comparison(comparison)
 
     def _eq_selectivity(self, info: TableInfo, ref, value) -> float:
         if not isinstance(ref, ColumnRef):

@@ -144,10 +144,24 @@ class _Parser:
                 f"{token.position}", token)
         return token.value
 
+    def _if_clause(self, *tail: str) -> bool:
+        """``IF NOT EXISTS`` / ``IF EXISTS`` after TABLE; a lone or
+        misspelled IF clause is refused with the offending position."""
+        if not self.accept_keyword("if"):
+            return False
+        for expected in tail:
+            token = self.peek()
+            if not self.accept_keyword(expected):
+                raise ParseError(
+                    f"expected {' '.join(tail).upper()} after IF, got "
+                    f"{token.value!r} at position {token.position}", token)
+        return True
+
     def _parse_create(self) -> CreateTable:
         self.expect_keyword("create")
         external = bool(self.accept_keyword("external"))
         self.expect_keyword("table")
+        if_not_exists = self._if_clause("not", "exists")
         name = self._expect_table_name()
         columns: list[ColumnDef] = []
         if self.accept_punct("("):
@@ -172,7 +186,8 @@ class _Parser:
             self.expect_punct(")")
         self.expect_eof()
         return CreateTable(name=name, columns=tuple(columns), format=fmt,
-                           options=options, external=external)
+                           options=options, external=external,
+                           if_not_exists=if_not_exists)
 
     def _parse_column_def(self) -> ColumnDef:
         name_token = self.advance()
@@ -249,9 +264,10 @@ class _Parser:
     def _parse_drop(self) -> DropTable:
         self.expect_keyword("drop")
         self.expect_keyword("table")
+        if_exists = self._if_clause("exists")
         name = self._expect_table_name()
         self.expect_eof()
-        return DropTable(name)
+        return DropTable(name, if_exists=if_exists)
 
     def parse_select(self) -> Select:
         self.expect_keyword("select")

@@ -426,6 +426,16 @@ class Planner:
         scan = ScanOp(self.model, layout, info.access, needed_idx,
                       predicate, info.name)
         est = self.optimizer.scan_rows(info, pushed)
+        # Partitioned tables: intersect pushed conjuncts with per-file
+        # zone maps at plan time — EXPLAIN shows the pruning decision
+        # and the estimate shrinks to the surviving files' rows.
+        select_fn = getattr(info.access, "select_partitions", None)
+        if select_fn is not None:
+            selection = select_fn(pushed)
+            scan.partitions = selection
+            if selection.est_rows is not None:
+                est = self.optimizer.scan_rows(
+                    info, pushed, base_rows=float(selection.est_rows))
         return scan, est
 
     def _plan_relational(self, bindings: dict[str, TableInfo],

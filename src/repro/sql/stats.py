@@ -39,6 +39,18 @@ class ColumnStats:
     mcv: list[tuple[object, float]] = field(default_factory=list)
     #: equi-depth histogram bounds (ascending), len = buckets + 1
     histogram: list = field(default_factory=list)
+    #: Exact zone-map bounds (§4.4 at file granularity): unlike
+    #: ``min_value``/``max_value`` — sample extremes, fine for
+    #: selectivity, unsound for pruning — these are tracked over
+    #: *every* value the collecting scan observed. ``observed_rows``
+    #: counts how many rows fed the tracker (incl. nulls) so a caller
+    #: can tell whether the bounds cover the whole relation;
+    #: ``observed_min``/``observed_max`` stay None when every observed
+    #: value was NULL or the values were not orderable.
+    observed_min: object | None = None
+    observed_max: object | None = None
+    observed_rows: int = 0
+    observed_nulls: int = 0
 
     # -- selectivity estimation --------------------------------------------
     def selectivity_eq(self, value) -> float:

@@ -413,3 +413,66 @@ class TestStatementKinds:
     def test_registry_is_open(self):
         assert {"csv", "fits", "heap", "jsonl"} <= set(available_formats())
         assert get_format("CSV").name == "csv"  # case-insensitive
+
+
+class TestIfExistsGuards:
+    """IF NOT EXISTS / IF EXISTS through the whole stack: lexer keyword,
+    parser clause (with token positions on malformed input), and the
+    session DDL path returning a skipped status instead of raising."""
+
+    def test_create_if_not_exists_skips_duplicate(self, raw):
+        raw.query(CREATE_PEOPLE)
+        result = raw.query(
+            "CREATE TABLE IF NOT EXISTS people (id INTEGER) "
+            "USING csv OPTIONS (path 'people.csv')")
+        assert result.rows == [("CREATE TABLE people skipped (exists)",)]
+        # the original 3-column schema survives
+        assert raw.catalog.get("people").schema.arity == 3
+
+    def test_create_if_not_exists_creates_when_absent(self, raw):
+        result = raw.query(
+            "CREATE TABLE IF NOT EXISTS people (id INTEGER, "
+            "name VARCHAR, age INTEGER) USING csv "
+            "OPTIONS (path 'people.csv')")
+        assert result.rows == [("CREATE TABLE people",)]
+        assert raw.catalog.has("people")
+
+    def test_drop_if_exists_skips_absent(self, raw):
+        result = raw.query("DROP TABLE IF EXISTS nope")
+        assert result.rows == [("DROP TABLE nope skipped (absent)",)]
+
+    def test_drop_if_exists_drops_present(self, raw):
+        raw.query(CREATE_PEOPLE)
+        assert raw.query("DROP TABLE IF EXISTS people").rows == [
+            ("DROP TABLE people",)]
+        assert not raw.catalog.has("people")
+
+    def test_drop_without_guard_still_raises(self, raw):
+        with pytest.raises(CatalogError, match="unknown table"):
+            raw.query("DROP TABLE nope")
+
+    def test_session_path_honours_guards(self, raw):
+        session = repro.connect(engine=raw)
+        session.execute(CREATE_PEOPLE)
+        cur = session.execute(
+            "CREATE TABLE IF NOT EXISTS people (id INTEGER) "
+            "USING csv OPTIONS (path 'people.csv')")
+        assert cur.fetchone() == ("CREATE TABLE people skipped (exists)",)
+        session.execute("DROP TABLE IF EXISTS people")
+        cur = session.execute("DROP TABLE IF EXISTS people")
+        assert cur.fetchone() == ("DROP TABLE people skipped (absent)",)
+
+    def test_create_if_without_not_exists_positions_error(self, raw):
+        sql = ("CREATE TABLE IF EXISTS people (id INTEGER) "
+               "USING csv OPTIONS (path 'people.csv')")
+        with pytest.raises(ParseError) as excinfo:
+            raw.query(sql)
+        assert "NOT EXISTS" in str(excinfo.value)
+        assert excinfo.value.token.position == sql.index("EXISTS")
+
+    def test_drop_if_without_exists_positions_error(self, raw):
+        sql = "DROP TABLE IF people"
+        with pytest.raises(ParseError) as excinfo:
+            raw.query(sql)
+        assert "EXISTS" in str(excinfo.value)
+        assert excinfo.value.token.position == sql.index("people")

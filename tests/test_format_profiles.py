@@ -1,0 +1,108 @@
+"""Per-format cost calibration through the adapter registry.
+
+Raw formats do not cost the same to tokenize: JSON carries quoting,
+key lookup and escape handling per field, so the JSONL adapter
+contributes a :class:`~repro.simcost.profiles.CostProfile` override
+(tokenize ~3x the CSV rate per byte-equivalent unit) via
+``FormatAdapter.cost_profile``. The override shares the engine's
+virtual clock — every format's charges land in one simulated timeline
+— and must be idempotent so wrapping layers (partitioned tables build
+children through engine proxies) can re-derive it without compounding
+the factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import PostgresRaw, VirtualFS
+from repro.formats.registry import get_format
+from repro.simcost.clock import CostEvent
+from repro.simcost.model import CostModel
+
+
+def make_db():
+    vfs = VirtualFS()
+    vfs.create("t.csv", b"1,2.5,alpha\n2,3.5,beta\n3,4.5,gamma\n")
+    vfs.create(
+        "t.jsonl",
+        b'{"a": 1, "b": 2.5, "c": "alpha"}\n'
+        b'{"a": 2, "b": 3.5, "c": "beta"}\n'
+        b'{"a": 3, "b": 4.5, "c": "gamma"}\n')
+    db = PostgresRaw(vfs=vfs)
+    db.query("CREATE TABLE tc (a INTEGER, b FLOAT, c VARCHAR) "
+             "USING csv OPTIONS (path 't.csv')")
+    db.query("CREATE TABLE tj (a INTEGER, b FLOAT, c VARCHAR) "
+             "USING jsonl OPTIONS (path 't.jsonl')")
+    return db
+
+
+class TestScanModelSeam:
+    def test_csv_contributes_no_override(self):
+        db = make_db()
+        assert get_format("csv").cost_profile(db) is None
+        assert get_format("csv").scan_model(db) is db.model
+
+    def test_jsonl_scan_model_shares_clock_scales_tokenize(self):
+        db = make_db()
+        model = get_format("jsonl").scan_model(db)
+        assert model is not db.model
+        assert model.clock is db.model.clock
+        base = db.model.profile
+        assert model.profile.name == base.name + "+jsonl"
+        assert model.profile.tokenize == base.tokenize * 3.0
+        # everything else is untouched
+        assert model.profile.convert_int == base.convert_int
+        assert model.profile.disk_read_cold == base.disk_read_cold
+
+    def test_jsonl_profile_is_idempotent(self):
+        db = make_db()
+        adapter = get_format("jsonl")
+        once = adapter.cost_profile(db)
+        proxy = type("Proxy", (), {
+            "model": CostModel(db.model.clock, once)})()
+        assert adapter.cost_profile(proxy) is once  # no 9x through proxies
+
+    def test_jsonl_tokenize_advances_clock_3x(self):
+        db = make_db()
+        jsonl_model = get_format("jsonl").scan_model(db)
+        clock = db.model.clock
+        before = clock.seconds
+        db.model.charge(CostEvent.TOKENIZE, 100)
+        csv_cost = clock.seconds - before
+        before = clock.seconds
+        jsonl_model.charge(CostEvent.TOKENIZE, 100)
+        jsonl_cost = clock.seconds - before
+        assert math.isclose(jsonl_cost, 3.0 * csv_cost, rel_tol=1e-12)
+
+
+class TestCrossFormatCost:
+    def test_same_rows_cost_more_from_jsonl(self):
+        db = make_db()
+        rc = db.query("SELECT a, b, c FROM tc WHERE a > 0")
+        rj = db.query("SELECT a, b, c FROM tj WHERE a > 0")
+        assert rc.rows == rj.rows
+        assert rj.elapsed > rc.elapsed
+
+    def test_jsonl_seconds_reconstruct_with_3x_tokenize(self):
+        # Every charge of a JSONL scan lands on the shared clock at the
+        # base profile's rates except tokenize, billed at 3x. Rebuild
+        # the elapsed virtual time from the counters alone.
+        db = make_db()
+        base = db.model.profile
+        r = db.query("SELECT a, c FROM tj WHERE b > 3.0")
+        expected = 0.0
+        for name, units in r.counters.items():
+            rate = base.rate(CostEvent(name))
+            if name == "tokenize":
+                rate *= 3.0
+            expected += units * rate
+        assert math.isclose(r.elapsed, expected, rel_tol=1e-9)
+
+    def test_csv_seconds_reconstruct_at_base_rates(self):
+        db = make_db()
+        base = db.model.profile
+        r = db.query("SELECT a, c FROM tc WHERE b > 3.0")
+        expected = sum(units * base.rate(CostEvent(name))
+                       for name, units in r.counters.items())
+        assert math.isclose(r.elapsed, expected, rel_tol=1e-9)
