@@ -81,6 +81,13 @@ class PostgresRawConfig:
         group order — so results, PM/cache contents and simcost
         counters are bit-identical to the serial scan at any worker
         count. Defaults to ``$REPRO_SCAN_WORKERS`` when set.
+    enable_zone_aggregates:
+        Answer bare ``MIN``/``MAX``/``COUNT(*)`` on partitioned tables
+        straight from per-file zone maps when every file has complete
+        zones and row counts — zero bytes read. Off by default: the
+        fold changes priced counters for those queries, and the
+        partitioned-vs-single-file cost-parity oracle relies on
+        identical charging.
     """
 
     enable_positional_map: bool = True
@@ -97,6 +104,7 @@ class PostgresRawConfig:
     batch_mode: bool = True
     batch_read_bytes: int = 256 * 1024
     scan_workers: int = field(default_factory=_default_scan_workers)
+    enable_zone_aggregates: bool = False
     dialect: CsvDialect = field(default_factory=lambda: DEFAULT_DIALECT)
 
     def __post_init__(self) -> None:

@@ -204,10 +204,12 @@ class RawCsvAccess:
             if self.cache is not None:
                 self.cache.clear()
             self.row_count = None
+            self.table_info.data_version += 1
         elif size > self._seen_size:
             if self.pm is not None:
                 self.pm.invalidate_file_length()
             self.row_count = None
+            self.table_info.data_version += 1
         self._seen_rewrites = rewrites
         self._seen_size = size
 
@@ -553,10 +555,17 @@ class RawCsvAccess:
             already = existing.get(attr)
             column = discovered[attr]
             if already is not None:
-                merged = np.where(column == _NO_POS,
-                                  already[:nrows], column)
+                # An append can grow the block's row count past what the
+                # map indexed before it; pad the prior column so the
+                # merge lines up (new tail rows have no prior position).
+                prior = already[:nrows]
+                if len(prior) < nrows:
+                    prior = np.concatenate(
+                        [prior, np.full(nrows - len(prior), _NO_POS,
+                                        dtype=np.int32)])
+                merged = np.where(column == _NO_POS, prior, column)
                 new_known = int((merged != _NO_POS).sum())
-                old_known = int((already[:nrows] != _NO_POS).sum())
+                old_known = int((prior != _NO_POS).sum())
                 if new_known <= old_known:
                     continue  # nothing new for this attribute
                 discovered[attr] = merged

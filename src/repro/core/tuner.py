@@ -44,6 +44,32 @@ class TuningReport:
                 f"warmed: {warmed})")
 
 
+@dataclass
+class RollupProposal:
+    """A hot GROUP BY pattern the router observed that no fresh rollup
+    covers: build a rollup over ``dims`` storing ``aggs``."""
+
+    table: str
+    dims: tuple[str, ...]
+    aggs: tuple[tuple[str, str], ...]  # AggSigs: (func, column|'*')
+    requests: int
+
+
+@dataclass
+class RollupTuningReport:
+    """What one rollup-focused idle period accomplished."""
+
+    seconds_used: float = 0.0
+    rebuilt: list[str] = field(default_factory=list)
+    built: list[str] = field(default_factory=list)
+    exhausted_budget: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (f"RollupTuningReport({self.seconds_used:.3f}s used, "
+                f"rebuilt: {', '.join(self.rebuilt) or 'nothing'}, "
+                f"built: {', '.join(self.built) or 'nothing'})")
+
+
 class IdleTuner:
     """Spends idle time warming a PostgresRaw engine's structures."""
 
@@ -111,6 +137,93 @@ class IdleTuner:
         report.exhausted_budget = (report.exhausted_budget
                                    or report.seconds_used >= budget_seconds)
         return report
+
+    # ------------------------------------------------------------------
+    # Rollup proposals (the router's hot-pattern log -> CREATE ROLLUP)
+    # ------------------------------------------------------------------
+    def rollup_candidates(self) -> list[RollupProposal]:
+        """Hot aggregate patterns no fresh rollup covers, hottest
+        first. Patterns whose table vanished (or was renamed away and
+        back differently) are skipped, not errors."""
+        proposals = []
+        catalog = self.engine.catalog
+        registry = self.engine.rollups
+        for key, count in self.engine.router.patterns.most_common():
+            table, dims, sigs = key
+            if not catalog.has(table):
+                continue
+            info = catalog.get(table)
+            covered = any(
+                rollup.is_fresh(catalog) and rollup.covers(dims, sigs)
+                for rollup in registry.for_source(info))
+            if not covered:
+                proposals.append(RollupProposal(
+                    table=info.name, dims=dims, aggs=sigs,
+                    requests=count))
+        return proposals
+
+    def exploit_idle_time_for_rollups(
+            self, budget_seconds: float) -> RollupTuningReport:
+        """Spend idle time on rollup maintenance: first rebuild stale
+        rollups whose source still exists, then build proposed ones
+        from the hot-pattern log. Budget semantics match
+        :meth:`exploit_idle_time` — enforced on the virtual clock, work
+        is not interrupted mid-build."""
+        from repro.rollup.builder import build_rollup, rebuild_rollup
+        from repro.rollup.metadata import signature_expr
+
+        if budget_seconds <= 0:
+            raise ReproError("idle budget must be positive")
+        clock = self.engine.clock
+        catalog = self.engine.catalog
+        start = clock.checkpoint()
+        report = RollupTuningReport()
+
+        def out_of_budget() -> bool:
+            if clock.elapsed_since(start) >= budget_seconds:
+                report.exhausted_budget = True
+                return True
+            return False
+
+        for rollup in self.engine.rollups.rollups():
+            if out_of_budget():
+                break
+            if rollup.is_fresh(catalog):
+                continue
+            source = rollup.source
+            if not (catalog.has(source.name)
+                    and catalog.get(source.name) is source):
+                continue  # source gone for good; DROP ROLLUP is manual
+            rebuild_rollup(self.engine, rollup)
+            report.rebuilt.append(rollup.name)
+
+        for proposal in self.rollup_candidates():
+            if out_of_budget():
+                break
+            source = catalog.get(proposal.table)
+            name = self._rollup_name(proposal.table)
+            aggs = [signature_expr(sig) for sig in proposal.aggs]
+            built = build_rollup(self.engine, name, source,
+                                 proposal.dims, aggs)
+            self.engine.rollups.register(built)
+            catalog.bump_epoch()
+            report.built.append(name)
+
+        report.seconds_used = clock.elapsed_since(start)
+        report.exhausted_budget = (report.exhausted_budget
+                                   or report.seconds_used >= budget_seconds)
+        return report
+
+    def _rollup_name(self, table: str) -> str:
+        base = f"auto_{table.lower()}"
+        registry = self.engine.rollups
+        if not registry.has(base) and not self.engine.catalog.has(base):
+            return base
+        suffix = 2
+        while registry.has(f"{base}_{suffix}") or \
+                self.engine.catalog.has(f"{base}_{suffix}"):
+            suffix += 1
+        return f"{base}_{suffix}"
 
     def regroup_maps(self, table: str | None = None) -> int:
         """Canonicalize positional-map chunk groups (all tables, or

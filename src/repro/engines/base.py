@@ -70,11 +70,20 @@ class Database:
     in_situ_policy: str | None = None
 
     def __init__(self, profile: CostProfile, vfs: VirtualFS | None = None):
+        from repro.rollup.metadata import RollupRegistry
+        from repro.rollup.router import QueryRouter
+
         self.vfs = vfs if vfs is not None else VirtualFS()
         self.clock = VirtualClock()
         self.model = CostModel(self.clock, profile)
         self.catalog = Catalog()
         self.use_statistics = True
+        #: materialized rollups registered on this engine (CREATE
+        #: ROLLUP / idle tuning) and the planner-side router that
+        #: rewrites covered aggregate queries to probe them.
+        self.rollups = RollupRegistry()
+        self.router = QueryRouter(self)
+        self._materialization_pool = None
         #: live sessions attached via :meth:`connect` (repro.api)
         self.sessions: list["Session"] = []
         self._scheduler: "Scheduler | None" = None
@@ -240,9 +249,33 @@ class Database:
         this on every re-execution even though parse/plan are skipped."""
         self._refresh_tables(select)
 
+    def materialization_pool(self):
+        """The buffer pool serving materialized heaps (CTAS tables,
+        rollups). Loading engines reuse their own pool; raw engines —
+        which deliberately have no ``pool`` attribute, in-situ scans
+        never touch one — get a private pool created on first use."""
+        pool = getattr(self, "pool", None)
+        if pool is not None:
+            return pool
+        if self._materialization_pool is None:
+            from repro.storage.buffer import BufferPool
+
+            self._materialization_pool = BufferPool(self.vfs, self.model)
+        return self._materialization_pool
+
     def _plan(self, select: Select):
+        from repro.rollup.router import RoutedQuery
+
         optimizer = Optimizer(use_stats=self.use_statistics)
-        return Planner(self.catalog, self.model, optimizer).plan(select)
+        routed, miss = self.router.route(select, optimizer)
+        if routed is not None:
+            return routed
+        planned = Planner(self.catalog, self.model, optimizer).plan(select)
+        if miss is not None:
+            self.model.rollup_miss()
+            return RoutedQuery(planned.root, planned.names,
+                               f"none ({miss})")
+        return planned
 
     def _refresh_tables(self, select: Select) -> None:
         for name in self._tables_of(select):

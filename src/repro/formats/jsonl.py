@@ -241,10 +241,12 @@ class JsonlAccess:
             if self.cache is not None:
                 self.cache.clear()
             self.row_count = None
+            self.table_info.data_version += 1
         elif size > self._seen_size:
             if self.pm is not None:
                 self.pm.invalidate_file_length()
             self.row_count = None
+            self.table_info.data_version += 1
         self._seen_rewrites = rewrites
         self._seen_size = size
 

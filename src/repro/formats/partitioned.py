@@ -317,7 +317,9 @@ class PartitionedAccess:
 
     # -- AccessMethod protocol -----------------------------------------
     def refresh(self) -> None:
+        before = {part.path for part in self.parts}
         self._expand()
+        changed = {part.path for part in self.parts} != before
         for part in self.parts:
             refresh = getattr(part.access, "refresh", None)
             if refresh is not None:
@@ -334,10 +336,17 @@ class PartitionedAccess:
                 part.zone = {}
                 part.row_count = None
                 part.empty = False
+                changed = True
                 if self.partition_column is not None:
                     part.zone[self.partition_column] = \
                         self._seed_bounds(part)
             part._seen_rewrites, part._seen_size = rewrites, size
+        if changed:
+            # Plan-time folds over zone maps (and rollups built from
+            # this table) must be invalidated *now*, not at the next
+            # stats install — move the table's data version so the
+            # catalog epoch advances immediately.
+            self.table_info.data_version += 1
 
     def estimated_rows(self) -> int | None:
         rows = 0

@@ -371,30 +371,60 @@ class HeapAdapter(FormatAdapter):
     heap OPTIONS (path '<csv>')`` bulk-loads the CSV into binary heap
     pages on the engine's clock and binds a buffer-pool scan. Only
     engines with a buffer pool (:class:`~repro.engines.loaded.
-    LoadedDBMS`) support it."""
+    LoadedDBMS`) support the CSV-load path.
+
+    A second, hidden channel materializes *computed* tuples instead of
+    a file: ``options['_rows']`` (a list of tuples, with an optional
+    ``'_path'`` heap placement) is how CTAS and rollup builds store
+    query results through this adapter on any engine — the serving
+    pool comes from ``engine.materialization_pool()``."""
 
     name = "heap"
 
+    def validate_options(self, engine, options: dict) -> dict:
+        if "_rows" in options:
+            # Materialization channel: no source path to check.
+            unknown = set(options) - {"_rows", "_path"}
+            if unknown:
+                raise CatalogError(
+                    f"format 'heap' row materialization does not "
+                    f"accept option(s) {sorted(unknown)}")
+            if not isinstance(options["_rows"], list):
+                raise CatalogError(
+                    "hidden option '_rows' must be a list of tuples")
+            return dict(options)
+        return super().validate_options(engine, options)
+
     def build_access(self, engine, info, options: dict):
-        pool = getattr(engine, "pool", None)
-        if pool is None:
-            raise CatalogError(
-                f"format 'heap' requires a loading engine with a "
-                f"buffer pool; {type(engine).__name__} has none")
         if info.external:
             raise CatalogError(
                 "EXTERNAL makes no sense for loaded heap tables")
 
         from repro.engines.access import HeapAccess
         from repro.storage.heap import HeapFile
-        from repro.storage.loader import BulkLoader
+        from repro.storage.loader import BulkLoader, load_rows
         from repro.storage.record import RecordCodec
         from repro.storage.toast import ToastReader
 
-        csv_path = options["path"]
-        heap_path = f"__heap__/{engine.name}/{info.name.lower()}.heap"
-        loader = BulkLoader(engine.vfs, engine.model)
-        rows, stats = loader.load(csv_path, heap_path, info.schema)
+        if "_rows" in options:
+            result_rows = options.pop("_rows")
+            heap_path = options.pop("_path", None) or \
+                f"__heap__/{engine.name}/{info.name.lower()}.heap"
+            pool = engine.materialization_pool()
+            rows, stats = load_rows(engine.vfs, engine.model, heap_path,
+                                    info.schema, result_rows)
+            pool.invalidate(heap_path)
+        else:
+            pool = getattr(engine, "pool", None)
+            if pool is None:
+                raise CatalogError(
+                    f"format 'heap' requires a loading engine with a "
+                    f"buffer pool; {type(engine).__name__} has none")
+            csv_path = options["path"]
+            heap_path = f"__heap__/{engine.name}/{info.name.lower()}.heap"
+            loader = BulkLoader(engine.vfs, engine.model)
+            rows, stats = loader.load(csv_path, heap_path, info.schema)
+            info.extra["source_path"] = csv_path
         heap = HeapFile(engine.vfs, heap_path)
         toast = (ToastReader(engine.vfs, heap_path + ".toast",
                              engine.model)
@@ -403,7 +433,6 @@ class HeapAdapter(FormatAdapter):
         info.row_count_hint = rows
         # The catalog entry points at the loaded heap, not the source.
         info.path = heap_path
-        info.extra["source_path"] = csv_path
         return HeapAccess(heap, pool, RecordCodec(info.schema),
                           info.schema, engine.model, row_count=rows,
                           toast=toast)

@@ -1,0 +1,166 @@
+"""Single-pass rollup construction through the heap format adapter.
+
+A build is just a query: the requested dimensions become a GROUP BY,
+the stored aggregate state becomes the select list, and the result is
+materialized via the ``heap`` adapter's row channel — every character
+touched, converted and serialized is charged to the engine's clock like
+any other scan + load. The aggregation strategy is pinned to ``hash``
+so the heap's physical row order is the *first-seen group order of the
+raw file*, the invariant the router's bit-identity argument rests on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.rollup.metadata import (
+    RollupInfo,
+    agg_signature,
+    signature_expr,
+    storage_name,
+    storage_signatures,
+)
+from repro.sql.ast_nodes import ColumnRef, Select, SelectItem, TableRef
+from repro.sql.batch import batches_to_rows
+from repro.sql.catalog import Column, Schema, TableInfo
+from repro.sql.datatypes import BIGINT, FLOAT
+from repro.sql.executor import execute_batches
+from repro.sql.optimizer import Optimizer
+from repro.sql.planner import Planner
+
+
+class ForcedAggOptimizer(Optimizer):
+    """An optimizer whose aggregation strategy is pinned.
+
+    Builds pin ``hash`` (first-seen storage order); probes pin whatever
+    strategy the raw plan would have used, so routed output order
+    matches the raw scan's bit for bit."""
+
+    def __init__(self, use_stats: bool, strategy: str):
+        super().__init__(use_stats=use_stats)
+        self._forced = strategy
+
+    def agg_strategy(self, info_for_group_cols, input_rows,
+                     has_group_by) -> str:
+        return self._forced
+
+
+def rollup_heap_path(engine, name: str, seq: int) -> str:
+    """Sequence-numbered placement: rebuilds never reuse a path, so no
+    stale buffer-pool page can ever serve a rebuilt rollup."""
+    return f"__rollup__/{engine.name}/{name.lower()}-{seq}.heap"
+
+
+def _validate_spec(source, dims, aggs):
+    schema = source.schema
+    seen = set()
+    for dim in dims:
+        key = dim.lower()
+        if key in seen:
+            raise CatalogError(
+                f"duplicate rollup dimension {dim!r}")
+        seen.add(key)
+        if not schema.has_column(key):
+            raise CatalogError(
+                f"rollup dimension {dim!r} is not a column of "
+                f"{source.name!r}")
+    sigs = []
+    for agg in aggs:
+        sig = agg_signature(agg)
+        func, col = sig
+        if col != "*":
+            if not schema.has_column(col):
+                raise CatalogError(
+                    f"rollup aggregate column {col!r} is not a column "
+                    f"of {source.name!r}")
+            if func in ("sum", "avg") and \
+                    schema.column(col).dtype.family not in ("int", "float"):
+                raise CatalogError(
+                    f"{func}({col}) needs a numeric column; "
+                    f"{col!r} is {schema.column(col).dtype.name}")
+        if sig not in sigs:
+            sigs.append(sig)
+    if not sigs:
+        raise CatalogError("a rollup needs at least one aggregate")
+    return sigs
+
+
+def _storage_dtype(sig, schema):
+    func, col = sig
+    if func == "count":
+        return BIGINT
+    if func == "sum":
+        family = schema.column(col).dtype.family
+        return BIGINT if family == "int" else FLOAT
+    return schema.column(col).dtype  # min/max keep the source type
+
+
+def build_rollup(engine, name: str, source: TableInfo, dims, aggs,
+                 builds: int = 1) -> RollupInfo:
+    """Scan ``source`` once and materialize the rollup heap; returns
+    the registry entry (not yet registered)."""
+    sigs = _validate_spec(source, dims, aggs)
+    dims = tuple(d.lower() for d in dims)
+    phys = storage_signatures(sigs)
+    storage = {sig: storage_name(sig) for sig in phys}
+
+    # Pick up pending external file changes *before* snapshotting the
+    # freshness anchor, so the build can never capture a version newer
+    # than the data it scanned.
+    refresh = getattr(source.access, "refresh", None)
+    if refresh is not None:
+        refresh()
+    built_data_version = source.data_version
+
+    select = Select(
+        items=[SelectItem(ColumnRef(d), alias=d) for d in dims]
+        + [SelectItem(signature_expr(sig), alias=storage[sig])
+           for sig in phys],
+        tables=[TableRef(source.name)],
+        group_by=[ColumnRef(d) for d in dims],
+    )
+    optimizer = ForcedAggOptimizer(engine.use_statistics, "hash")
+    planned = Planner(engine.catalog, engine.model, optimizer).plan(select)
+    rows = list(batches_to_rows(execute_batches(planned)))
+
+    schema = Schema(
+        [Column(d, source.schema.column(d).dtype) for d in dims]
+        + [Column(storage[sig], _storage_dtype(sig, source.schema))
+           for sig in phys])
+
+    from repro.formats.registry import get_format
+
+    table = TableInfo(name=name, schema=schema, format="heap")
+    adapter = get_format("heap")
+    options = adapter.validate_options(
+        engine, {"_rows": rows,
+                 "_path": rollup_heap_path(engine, name, builds)})
+    table.access = adapter.build_access(engine, table, options)
+
+    return RollupInfo(name=name, source=source, dims=dims,
+                      agg_sigs=tuple(sigs), storage=storage, table=table,
+                      built_data_version=built_data_version,
+                      row_count=len(rows), builds=builds)
+
+
+def rebuild_rollup(engine, rollup: RollupInfo) -> RollupInfo:
+    """Re-run a stale rollup's build against the current source data
+    and swap the registry entry; the old heap is reclaimed."""
+    fresh = build_rollup(
+        engine, rollup.name, rollup.source, rollup.dims,
+        [signature_expr(sig) for sig in rollup.agg_sigs],
+        builds=rollup.builds + 1)
+    engine.rollups.replace(fresh)
+    drop_storage(engine, rollup)
+    engine.catalog.bump_epoch()
+    return fresh
+
+
+def drop_storage(engine, rollup: RollupInfo) -> None:
+    """Reclaim a rollup's heap + toast files and any buffered pages."""
+    path = rollup.table.path
+    if path:
+        engine.materialization_pool().invalidate(path)
+        for victim in (path, path + ".toast"):
+            if engine.vfs.exists(victim):
+                engine.vfs.delete(victim)
+    rollup.table.access = None

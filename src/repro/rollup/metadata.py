@@ -1,0 +1,168 @@
+"""Rollup catalog objects: what is materialized, over what, how fresh.
+
+A rollup stores *decomposable* aggregate state keyed by its dimension
+columns: ``sum``/``count``/``min``/``max`` re-aggregate losslessly over
+any grouping by a subset of the dimensions, and ``avg`` is carried as a
+``sum``+``count`` pair. The physical storage column for each aggregate
+signature is deterministic (``sum_x``, ``count_star``...), so the
+router can rewrite query aggregates to storage-column expressions
+without consulting the builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import CatalogError
+from repro.sql.ast_nodes import ColumnRef, FuncCall, Star
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sql.catalog import Catalog, TableInfo
+
+#: an aggregate's identity: ``(function, column)`` with ``"*"`` for
+#: ``COUNT(*)`` — column names lower-cased.
+AggSig = tuple[str, str]
+
+
+def agg_signature(agg: FuncCall) -> AggSig:
+    """The :data:`AggSig` of a parsed aggregate call. Only shapes the
+    router/builder support reach here: ``count(*)`` or ``f(column)``."""
+    if agg.name == "count" and (
+            not agg.args or isinstance(agg.args[0], Star)):
+        return ("count", "*")
+    arg = agg.args[0]
+    return (agg.name, arg.name.lower())
+
+
+def storage_name(sig: AggSig) -> str:
+    """Deterministic physical column for one stored aggregate."""
+    func, col = sig
+    if sig == ("count", "*"):
+        return "count_star"
+    return f"{func}_{col}"
+
+
+def storage_signatures(sigs) -> list[AggSig]:
+    """Expand requested signatures into the physically stored set:
+    ``avg(x)`` becomes ``sum(x)`` + ``count(x)``; duplicates collapse,
+    order of first mention is preserved."""
+    out: list[AggSig] = []
+    for sig in sigs:
+        func, col = sig
+        expanded = ([("sum", col), ("count", col)] if func == "avg"
+                    else [sig])
+        for phys in expanded:
+            if phys not in out:
+                out.append(phys)
+    return out
+
+
+def signature_expr(sig: AggSig) -> FuncCall:
+    """The aggregate AST a signature denotes (for builds/rebuilds)."""
+    func, col = sig
+    if col == "*":
+        return FuncCall("count", (Star(),))
+    return FuncCall(func, (ColumnRef(col),))
+
+
+@dataclass
+class RollupInfo:
+    """One materialized rollup and its freshness anchor.
+
+    ``source`` is held by identity: a rename keeps it valid, while
+    DROP + re-CREATE of the source yields a different
+    :class:`~repro.sql.catalog.TableInfo` object and permanently
+    invalidates the rollup (its contents describe a table that no
+    longer exists)."""
+
+    name: str
+    source: "TableInfo"
+    dims: tuple[str, ...]
+    #: requested signatures as declared (``avg`` kept for rebuilds)
+    agg_sigs: tuple[AggSig, ...]
+    #: physically stored signature -> heap column name
+    storage: dict[AggSig, str]
+    #: the rollup's own (unregistered) heap-backed table
+    table: "TableInfo"
+    #: ``source.data_version`` captured when the build scanned it
+    built_data_version: int
+    row_count: int
+    #: how many times this rollup has been (re)built — also the heap
+    #: path sequence number, so rebuilds never reuse a buffered path
+    builds: int = 1
+
+    def is_fresh(self, catalog: "Catalog") -> bool:
+        source = self.source
+        return (catalog.has(source.name)
+                and catalog.get(source.name) is source
+                and source.data_version == self.built_data_version)
+
+    def provides(self, sig: AggSig) -> bool:
+        func, col = sig
+        if func == "avg":
+            return (("sum", col) in self.storage
+                    and ("count", col) in self.storage)
+        return sig in self.storage
+
+    def covers(self, dims, sigs) -> bool:
+        """Dimension-subset + aggregate coverage (freshness aside)."""
+        return (set(dims) <= set(self.dims)
+                and all(self.provides(s) for s in sigs))
+
+
+class RollupRegistry:
+    """Case-insensitive rollup namespace for one engine."""
+
+    def __init__(self):
+        self._rollups: dict[str, RollupInfo] = {}
+
+    def register(self, info: RollupInfo) -> RollupInfo:
+        key = info.name.lower()
+        if key in self._rollups:
+            raise CatalogError(f"rollup already registered: {info.name!r}")
+        self._rollups[key] = info
+        return info
+
+    def drop(self, name: str) -> RollupInfo:
+        key = name.lower()
+        info = self._rollups.get(key)
+        if info is None:
+            raise CatalogError(f"unknown rollup: {name!r}")
+        del self._rollups[key]
+        return info
+
+    def replace(self, info: RollupInfo) -> RollupInfo:
+        """Swap in a rebuilt rollup under the same name."""
+        self._rollups[info.name.lower()] = info
+        return info
+
+    def get(self, name: str) -> RollupInfo:
+        info = self._rollups.get(name.lower())
+        if info is None:
+            raise CatalogError(f"unknown rollup: {name!r}")
+        return info
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._rollups
+
+    def rollups(self) -> list[RollupInfo]:
+        return list(self._rollups.values())
+
+    def for_source(self, source: "TableInfo") -> list[RollupInfo]:
+        """Rollups whose source is ``source`` (by identity)."""
+        return [r for r in self._rollups.values() if r.source is source]
+
+    def drop_for_source(self, source: "TableInfo") -> list[RollupInfo]:
+        """Unregister every rollup of ``source`` (DROP TABLE cascade);
+        returns the dropped infos so storage can be reclaimed."""
+        dropped = self.for_source(source)
+        for info in dropped:
+            del self._rollups[info.name.lower()]
+        return dropped
+
+    def __contains__(self, name: str) -> bool:
+        return self.has(name)
+
+    def __len__(self) -> int:
+        return len(self._rollups)

@@ -47,6 +47,8 @@ class CostEvent(enum.Enum):
     QUERY_OVERHEAD = "query_overhead"        # per-query setup (parse/plan)
     FILES_SCANNED = "files_scanned"          # partition files actually scanned
     FILES_PRUNED = "files_pruned"            # partition files skipped via zone maps
+    ROLLUP_HITS = "rollup_hits"              # aggregate queries routed to a rollup
+    ROLLUP_MISSES = "rollup_misses"          # aggregate queries falling back to raw
 
 
 @dataclass

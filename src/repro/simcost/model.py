@@ -159,6 +159,13 @@ class CostModel:
     def files_pruned(self, count: int = 1) -> None:
         self.charge(CostEvent.FILES_PRUNED, count)
 
+    # -- rollup router -------------------------------------------------------
+    def rollup_hit(self, count: int = 1) -> None:
+        self.charge(CostEvent.ROLLUP_HITS, count)
+
+    def rollup_miss(self, count: int = 1) -> None:
+        self.charge(CostEvent.ROLLUP_MISSES, count)
+
     # -- loaded-engine binary pages ------------------------------------------
     def deserialize(self, nattrs: int) -> None:
         self.charge(CostEvent.DESERIALIZE, nattrs)

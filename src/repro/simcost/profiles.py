@@ -72,6 +72,10 @@ class CostProfile:
     # identical to the same rows in one file.
     files_scanned: float = 0.0
     files_pruned: float = 0.0
+    # Rollup-router observability counters: likewise free of virtual
+    # time, so routing decisions never distort priced comparisons.
+    rollup_hits: float = 0.0
+    rollup_misses: float = 0.0
 
     def rate(self, event: CostEvent) -> float:
         """The price of one unit of ``event`` under this profile."""

@@ -229,6 +229,10 @@ class CreateTable:
     schema: object | None = None
     #: ``IF NOT EXISTS``: an existing name is a no-op, not an error
     if_not_exists: bool = False
+    #: ``CREATE TABLE t AS SELECT ...`` — the materializing query; when
+    #: set, ``columns``/``format``/``options`` stay empty and the table
+    #: is loaded through the heap adapter from the query's result.
+    as_select: Optional["Select"] = None
 
 
 @dataclass(frozen=True)
@@ -237,6 +241,38 @@ class DropTable:
 
     name: str
     #: ``IF EXISTS``: a missing name is a no-op, not an error
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class AlterTableRename:
+    """``ALTER TABLE t RENAME TO u``: re-key the catalog entry."""
+
+    name: str
+    new_name: str
+    #: ``IF EXISTS``: a missing name is a no-op, not an error
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateRollup:
+    """``CREATE ROLLUP r ON t (dims...) AGG (aggs...)``.
+
+    ``dims`` are column names; ``aggs`` are the parsed aggregate
+    :class:`FuncCall` expressions (``sum(x)``, ``count(*)``, ...)."""
+
+    name: str
+    table: str
+    dims: tuple  # tuple[str, ...]
+    aggs: tuple  # tuple[FuncCall, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropRollup:
+    """``DROP ROLLUP r``: unregister + drop the materialized heap."""
+
+    name: str
     if_exists: bool = False
 
 
@@ -253,10 +289,12 @@ class DescribeTable:
 
 
 #: every DDL statement kind the dispatcher recognizes
-DDL_NODES = (CreateTable, DropTable, ShowTables, DescribeTable)
+DDL_NODES = (CreateTable, DropTable, ShowTables, DescribeTable,
+             AlterTableRename, CreateRollup, DropRollup)
 
 Statement = Union["Select", "Explain", CreateTable, DropTable,
-                  ShowTables, DescribeTable]
+                  ShowTables, DescribeTable, AlterTableRename,
+                  CreateRollup, DropRollup]
 
 
 def is_ddl(statement) -> bool:

@@ -127,13 +127,22 @@ class TableInfo:
     stats: "TableStats | None" = None
     row_count_hint: int | None = None
     extra: dict = field(default_factory=dict)
+    #: Bumped when the *data* under the table visibly changed (a raw
+    #: file was rewritten or appended to, a partition invalidated).
+    #: Statistics versions only move when stats are (re)installed, which
+    #: happens lazily at the next scan — too late for plan-time folds
+    #: (zone-map aggregates, rollup routing) that must be invalidated
+    #: the moment the change is detected by ``refresh()``.
+    data_version: int = 0
 
     @property
     def stats_epoch(self) -> int:
         """Version of this table's statistics (0 = none yet). Moves
         whenever a scan's §4.4 collection — or a loaded engine's
-        ANALYZE — installs or augments stats."""
-        return self.stats.version if self.stats is not None else 0
+        ANALYZE — installs or augments stats, and whenever a refresh
+        detects the underlying data changed (``data_version``)."""
+        stats_version = self.stats.version if self.stats is not None else 0
+        return stats_version + self.data_version
 
 
 class Catalog:
@@ -162,6 +171,31 @@ class Catalog:
         # tables can never sum back to a previously seen epoch.
         self._retired_stats_epoch += self._tables[key].stats_epoch + 1
         del self._tables[key]
+
+    def rename(self, name: str, new_name: str) -> TableInfo:
+        """``ALTER TABLE name RENAME TO new_name``: re-key the entry in
+        place. The :class:`TableInfo` object (access method, stats,
+        auxiliary structures) survives untouched — derived objects that
+        hold it by identity (rollups) stay valid — but the catalog
+        epoch is bumped so plans cached under the old name re-plan and
+        fail cleanly instead of reading a phantom binding."""
+        info = self.get(name)
+        key = name.lower()
+        new_key = new_name.lower()
+        if new_key != key and new_key in self._tables:
+            raise CatalogError(
+                f"table already registered: {new_name!r}")
+        del self._tables[key]
+        info.name = new_name
+        self._tables[new_key] = info
+        self.bump_epoch()
+        return info
+
+    def bump_epoch(self) -> None:
+        """Strictly advance :attr:`stats_epoch` without touching any
+        table's own statistics: renames and derived-object changes
+        (CREATE/DROP ROLLUP) invalidate cached plans this way."""
+        self._retired_stats_epoch += 1
 
     def get(self, name: str) -> TableInfo:
         info = self._tables.get(name.lower())

@@ -9,6 +9,13 @@ format knowledge; they differ only in the policy attributes the
 adapters consult (see :mod:`repro.formats.registry`), which is exactly
 the paper's experimental control.
 
+``CREATE TABLE ... AS SELECT`` runs the query through the normal
+planner (it may itself be routed to a rollup) and materializes the
+result through the ``heap`` adapter's row channel — an instant
+materialized view of raw files. ``CREATE ROLLUP`` builds a
+dimension/aggregate summary the query router can probe; ``DROP TABLE``
+cascades to the table's rollups.
+
 Every statement returns ``(columns, rows)`` so DDL and SELECT flow
 through one result shape in both :meth:`repro.engines.base.Database.
 query` and the session/cursor path.
@@ -16,16 +23,25 @@ query` and the session/cursor path.
 
 from __future__ import annotations
 
+import datetime
+
 from repro.errors import CatalogError, ExecutionError
 from repro.formats.partitioned import maybe_wrap_partitioned
 from repro.formats.registry import get_format, sniff_format
 from repro.sql.ast_nodes import (
+    AlterTableRename,
+    ColumnRef,
+    CreateRollup,
     CreateTable,
     DescribeTable,
+    DropRollup,
     DropTable,
+    FuncCall,
+    Literal,
     ShowTables,
 )
 from repro.sql.catalog import Column, Schema, TableInfo
+from repro.sql.datatypes import BIGINT, BOOLEAN, DATE, FLOAT, varchar
 
 Result = tuple[list[str], list[tuple]]
 
@@ -33,9 +49,17 @@ Result = tuple[list[str], list[tuple]]
 def execute_ddl(engine, statement) -> Result:
     """Run one DDL statement against ``engine``'s catalog."""
     if isinstance(statement, CreateTable):
+        if statement.as_select is not None:
+            return _create_as_select(engine, statement)
         return _create_table(engine, statement)
     if isinstance(statement, DropTable):
         return _drop_table(engine, statement)
+    if isinstance(statement, AlterTableRename):
+        return _alter_rename(engine, statement)
+    if isinstance(statement, CreateRollup):
+        return _create_rollup(engine, statement)
+    if isinstance(statement, DropRollup):
+        return _drop_rollup(engine, statement)
     if isinstance(statement, ShowTables):
         return _show_tables(engine)
     if isinstance(statement, DescribeTable):
@@ -86,6 +110,105 @@ def _create_table(engine, statement: CreateTable) -> Result:
     return ["status"], [(f"CREATE TABLE {statement.name}",)]
 
 
+# ---------------------------------------------------------------------------
+# CREATE TABLE ... AS SELECT
+# ---------------------------------------------------------------------------
+def _create_as_select(engine, statement: CreateTable) -> Result:
+    if engine.catalog.has(statement.name):
+        if statement.if_not_exists:
+            return ["status"], [
+                (f"CREATE TABLE {statement.name} skipped (exists)",)]
+        raise CatalogError(
+            f"table already registered: {statement.name!r}")
+    from repro.sql.batch import batches_to_rows
+    from repro.sql.executor import execute_batches
+
+    select = statement.as_select
+    # Let access methods notice external file updates (§4.5), then plan
+    # through the normal path — the materializing query may itself be
+    # routed to a rollup.
+    engine.refresh_for(select)
+    planned = engine.plan_select(select)
+    rows = list(batches_to_rows(execute_batches(planned)))
+    schema = _result_schema(engine, planned.names, rows, select)
+    synthetic = CreateTable(name=statement.name, format="heap",
+                            options={"_rows": rows}, schema=schema)
+    _create_table(engine, synthetic)
+    return ["status"], [
+        (f"CREATE TABLE {statement.name} AS SELECT ({len(rows)} rows)",)]
+
+
+def _result_schema(engine, names, rows, select) -> Schema:
+    columns = []
+    for index, name in enumerate(names):
+        values = [row[index] for row in rows]
+        dtype = _dtype_of_values(values)
+        if dtype is None:
+            dtype = _dtype_of_expr(engine, select, index)
+        columns.append(Column(name, dtype))
+    try:
+        return Schema(columns)
+    except CatalogError as exc:
+        raise CatalogError(
+            f"CTAS result columns must have distinct names "
+            f"({names}); add aliases — {exc}") from exc
+
+
+def _dtype_of_values(values):
+    """Value-based CTAS column typing; None when no non-NULL value
+    exists to look at (fall back to the expression)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    if all(isinstance(v, bool) for v in present):
+        return BOOLEAN
+    if all(isinstance(v, int) and not isinstance(v, bool)
+           for v in present):
+        return BIGINT
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+           for v in present):
+        return FLOAT
+    if all(isinstance(v, datetime.date) for v in present):
+        return DATE
+    if all(isinstance(v, str) for v in present):
+        return varchar()
+    raise CatalogError(
+        "CTAS cannot infer a single column type from mixed values; "
+        "cast or restructure the query")
+
+
+def _dtype_of_expr(engine, select, index):
+    """Expression-based fallback for all-NULL/empty CTAS columns."""
+    if index < len(select.items):
+        expr = select.items[index].expr
+        if isinstance(expr, FuncCall) and expr.name == "count":
+            return BIGINT
+        if isinstance(expr, FuncCall) and expr.name == "avg":
+            return FLOAT
+        target = expr
+        if isinstance(expr, FuncCall) and \
+                expr.name in ("sum", "min", "max") and expr.args and \
+                isinstance(expr.args[0], ColumnRef):
+            target = expr.args[0]
+        if isinstance(target, ColumnRef):
+            name = target.name.lower()
+            for ref in select.tables:
+                if engine.catalog.has(ref.name):
+                    schema = engine.catalog.get(ref.name).schema
+                    if schema.has_column(name):
+                        dtype = schema.column(name).dtype
+                        if isinstance(expr, FuncCall) and \
+                                expr.name == "sum":
+                            return (BIGINT if dtype.family == "int"
+                                    else FLOAT)
+                        return dtype
+        if isinstance(target, Literal):
+            dtype = _dtype_of_values([target.value])
+            if dtype is not None:
+                return dtype
+    return varchar()
+
+
 def _drop_table(engine, statement: DropTable) -> Result:
     """Unregister + tear down. Like unlinking an open file, DROP does
     not wait for in-flight queries: a live scan that was reading the
@@ -110,11 +233,64 @@ def _drop_table(engine, statement: DropTable) -> Result:
         cache = getattr(info.access, "cache", None)
         if cache is not None:
             cache.clear()
+    # Dropping the source invalidates its rollups for good (a future
+    # table under the same name is a different table): cascade.
+    rollups = getattr(engine, "rollups", None)
+    if rollups is not None:
+        from repro.rollup.builder import drop_storage
+
+        for rollup in rollups.drop_for_source(info):
+            drop_storage(engine, rollup)
     # Unbind so any still-cached plan node holding this TableInfo fails
     # loudly instead of silently scanning a torn-down access method.
     info.access = None
     engine.catalog.drop(statement.name)
     return ["status"], [(f"DROP TABLE {statement.name}",)]
+
+
+def _alter_rename(engine, statement: AlterTableRename) -> Result:
+    if statement.if_exists and not engine.catalog.has(statement.name):
+        return ["status"], [
+            (f"ALTER TABLE {statement.name} skipped (absent)",)]
+    engine.catalog.rename(statement.name, statement.new_name)
+    return ["status"], [
+        (f"ALTER TABLE {statement.name} RENAME TO "
+         f"{statement.new_name}",)]
+
+
+# ---------------------------------------------------------------------------
+# CREATE/DROP ROLLUP
+# ---------------------------------------------------------------------------
+def _create_rollup(engine, statement: CreateRollup) -> Result:
+    if engine.rollups.has(statement.name):
+        if statement.if_not_exists:
+            return ["status"], [
+                (f"CREATE ROLLUP {statement.name} skipped (exists)",)]
+        raise CatalogError(
+            f"rollup already registered: {statement.name!r}")
+    from repro.rollup.builder import build_rollup
+
+    source = engine.catalog.get(statement.table)
+    rollup = build_rollup(engine, statement.name, source,
+                          statement.dims, statement.aggs)
+    engine.rollups.register(rollup)
+    # Cached aggregate plans must get a chance to re-route.
+    engine.catalog.bump_epoch()
+    return ["status"], [
+        (f"CREATE ROLLUP {statement.name} ON {source.name} "
+         f"({rollup.row_count} rows)",)]
+
+
+def _drop_rollup(engine, statement: DropRollup) -> Result:
+    if statement.if_exists and not engine.rollups.has(statement.name):
+        return ["status"], [
+            (f"DROP ROLLUP {statement.name} skipped (absent)",)]
+    from repro.rollup.builder import drop_storage
+
+    rollup = engine.rollups.drop(statement.name)
+    drop_storage(engine, rollup)
+    engine.catalog.bump_epoch()
+    return ["status"], [(f"DROP ROLLUP {statement.name}",)]
 
 
 def _show_tables(engine) -> Result:

@@ -13,9 +13,11 @@ KEYWORDS = {
     "is", "null", "exists", "case", "when", "then", "else", "end",
     "date", "interval", "day", "month", "year", "true", "false",
     "join", "inner", "on", "distinct", "explain",
-    # DDL statements (CREATE/DROP/SHOW/DESCRIBE)
+    # DDL statements (CREATE/DROP/SHOW/DESCRIBE/ALTER)
     "create", "external", "table", "using", "options", "drop", "show",
-    "tables", "describe", "if",
+    "tables", "describe", "if", "alter", "rename", "to",
+    # rollup DDL (CREATE ROLLUP ... ON t (dims) AGG (...))
+    "rollup", "agg",
 }
 
 

@@ -4,13 +4,17 @@ from __future__ import annotations
 
 from repro.errors import ParseError, TypeError_
 from repro.sql.ast_nodes import (
+    AGGREGATE_FUNCTIONS,
+    AlterTableRename,
     Between,
     BinaryOp,
     CaseExpr,
     ColumnDef,
     ColumnRef,
+    CreateRollup,
     CreateTable,
     DescribeTable,
+    DropRollup,
     DropTable,
     Exists,
     Explain,
@@ -128,6 +132,8 @@ class _Parser:
             name = self._expect_table_name()
             self.expect_eof()
             return DescribeTable(name)
+        if head.is_keyword("alter"):
+            return self._parse_alter()
         explain = bool(self.accept_keyword("explain"))
         select = self.parse_select()
         self.expect_eof()
@@ -157,12 +163,28 @@ class _Parser:
                     f"{token.value!r} at position {token.position}", token)
         return True
 
-    def _parse_create(self) -> CreateTable:
+    def _parse_create(self) -> CreateTable | CreateRollup:
         self.expect_keyword("create")
         external = bool(self.accept_keyword("external"))
+        if self.peek().is_keyword("rollup"):
+            if external:
+                raise ParseError(
+                    "EXTERNAL cannot be combined with CREATE ROLLUP",
+                    self.peek())
+            return self._parse_create_rollup()
         self.expect_keyword("table")
         if_not_exists = self._if_clause("not", "exists")
         name = self._expect_table_name()
+        if self.peek().is_keyword("as"):
+            as_token = self.advance()
+            if external:
+                raise ParseError(
+                    f"CREATE EXTERNAL TABLE cannot take AS SELECT "
+                    f"(position {as_token.position})", as_token)
+            select = self._parse_ctas_select(as_token)
+            self.expect_eof()
+            return CreateTable(name=name, if_not_exists=if_not_exists,
+                               as_select=select)
         columns: list[ColumnDef] = []
         if self.accept_punct("("):
             columns.append(self._parse_column_def())
@@ -261,13 +283,91 @@ class _Parser:
                 f"{value_token.position}", value_token)
         options[key] = value
 
-    def _parse_drop(self) -> DropTable:
+    def _parse_drop(self) -> DropTable | DropRollup:
         self.expect_keyword("drop")
+        if self.accept_keyword("rollup"):
+            if_exists = self._if_clause("exists")
+            name = self._expect_table_name()
+            self.expect_eof()
+            return DropRollup(name, if_exists=if_exists)
         self.expect_keyword("table")
         if_exists = self._if_clause("exists")
         name = self._expect_table_name()
         self.expect_eof()
         return DropTable(name, if_exists=if_exists)
+
+    def _parse_alter(self) -> AlterTableRename:
+        self.expect_keyword("alter")
+        self.expect_keyword("table")
+        if_exists = self._if_clause("exists")
+        name = self._expect_table_name()
+        self.expect_keyword("rename")
+        self.expect_keyword("to")
+        new_name = self._expect_table_name()
+        self.expect_eof()
+        return AlterTableRename(name, new_name, if_exists=if_exists)
+
+    def _parse_ctas_select(self, as_token: Token) -> Select:
+        select = self.parse_select()
+        if self._param_count:
+            raise ParseError(
+                f"CREATE TABLE AS SELECT cannot take ? parameters "
+                f"(position {as_token.position})", as_token)
+        select.param_count = 0
+        select.binding = self._binding
+        return select
+
+    def _parse_create_rollup(self) -> CreateRollup:
+        self.expect_keyword("rollup")
+        if_not_exists = self._if_clause("not", "exists")
+        name = self._expect_table_name()
+        self.expect_keyword("on")
+        table = self._expect_table_name()
+        self.expect_punct("(")
+        dims = [self._expect_dim_name()]
+        while self.accept_punct(","):
+            dims.append(self._expect_dim_name())
+        self.expect_punct(")")
+        self.expect_keyword("agg")
+        self.expect_punct("(")
+        aggs = [self._parse_rollup_agg()]
+        while self.accept_punct(","):
+            aggs.append(self._parse_rollup_agg())
+        self.expect_punct(")")
+        self.expect_eof()
+        return CreateRollup(name=name, table=table, dims=tuple(dims),
+                            aggs=tuple(aggs), if_not_exists=if_not_exists)
+
+    def _expect_dim_name(self) -> str:
+        token = self.advance()
+        if token.type != TokenType.IDENT:
+            raise ParseError(
+                f"expected dimension column name, got {token.value!r} at "
+                f"position {token.position}", token)
+        return token.value
+
+    def _parse_rollup_agg(self) -> FuncCall:
+        token = self.peek()
+        expr = self.parse_expr()
+        if not isinstance(expr, FuncCall) or not expr.is_aggregate:
+            raise ParseError(
+                f"AGG list expects aggregate calls "
+                f"({'/'.join(sorted(AGGREGATE_FUNCTIONS))}), got "
+                f"{token.value!r} at position {token.position}", token)
+        if expr.distinct:
+            raise ParseError(
+                f"DISTINCT aggregates cannot be rolled up (position "
+                f"{token.position})", token)
+        if len(expr.args) != 1 or not isinstance(
+                expr.args[0], (ColumnRef, Star)):
+            raise ParseError(
+                f"rollup aggregates take a single column (or * for "
+                f"count), got one at position {token.position}", token)
+        if isinstance(expr.args[0], Star) and expr.name != "count":
+            raise ParseError(
+                f"only count(*) may aggregate *, not {expr.name}(*) "
+                f"(position {token.position})", token)
+        return expr
 
     def parse_select(self) -> Select:
         self.expect_keyword("select")

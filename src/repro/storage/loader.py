@@ -96,3 +96,52 @@ class BulkLoader:
                                 sampler.seen)
             stats.set_column(column)
         return rows, stats
+
+
+def load_rows(vfs: VirtualFS, model: CostModel, heap_path: str,
+              schema: Schema, rows) -> tuple[int, TableStats]:
+    """Materialize already-computed tuples into a heap file.
+
+    The serialize-and-sample half of :class:`BulkLoader` without the
+    parse half: CTAS and rollup builds land here with tuples produced
+    by a query whose scan already paid the tokenize/convert cost, so
+    only serialization and statistics sampling are charged.
+
+    Returns ``(row_count, stats)`` like :meth:`BulkLoader.load`.
+    """
+    codec = RecordCodec(schema)
+    families = [t.family for t in schema.types]
+    arity = schema.arity
+    samplers = [ReservoirSampler(_SAMPLE_TARGET, seed=i)
+                for i in range(arity)]
+    if vfs.exists(heap_path):
+        vfs.delete(heap_path)
+    toast_path = heap_path + ".toast"
+    if vfs.exists(toast_path):
+        vfs.delete(toast_path)
+    toast_writer = ToastWriter(vfs, toast_path, model)
+    count = 0
+    with HeapWriter(vfs, heap_path, model) as writer:
+        for values in rows:
+            values = list(values)
+            if len(values) != arity:
+                raise CSVFormatError(
+                    f"row {count} has {len(values)} attributes, "
+                    f"schema has {arity}", row_number=count)
+            for attr, value in enumerate(values):
+                samplers[attr].add(value)
+                model.stats_sample(1)
+            model.serialize(arity)
+            values = toast_values(values, families, toast_writer,
+                                  codec.encoded_width)
+            writer.append(codec.encode(values))
+            count += 1
+    stats = TableStats(row_count=count)
+    for attr, sampler in enumerate(samplers):
+        if sampler.seen == 0:
+            continue
+        column = ColumnStats(name=schema.columns[attr].name)
+        column.merge_sample(sampler.sample, count, sampler.null_count,
+                            sampler.seen)
+        stats.set_column(column)
+    return count, stats

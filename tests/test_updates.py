@@ -68,6 +68,25 @@ class TestAppends:
             expected = 50 + 10 * (i + 1)
             assert db.query("SELECT count(*) FROM t").scalar() == expected
 
+    @pytest.mark.parametrize("batch", [True, False])
+    def test_wide_rescan_after_append_grows_last_block(self, batch):
+        """Regression: an append that grows the last positional-map
+        block must not break merging newly discovered positions into
+        the shorter pre-append columns (scalar path flush)."""
+        vfs = VirtualFS()
+        generate_micro_csv(vfs, "t.csv", rows=50, nattrs=ATTRS, seed=1)
+        engine = PostgresRaw(config=PostgresRawConfig(
+            row_block_size=16, batch_mode=batch), vfs=vfs)
+        engine.register_csv("t", "t.csv", micro_schema(ATTRS))
+        wide = "SELECT a1, a2, a3, a4 FROM t"
+        before = engine.query(wide).rows
+        append_micro_rows(engine.vfs, "t.csv", rows=3, nattrs=ATTRS,
+                          seed=9)
+        engine.query("SELECT a1 FROM t")  # narrow scan re-indexes a1
+        after = engine.query(wide).rows
+        assert after[:50] == before
+        assert len(after) == 53
+
 
 class TestRewrites:
     def test_rewrite_invalidates_structures(self, db):

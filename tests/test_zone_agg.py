@@ -1,0 +1,154 @@
+"""Zone-map aggregate folds: MIN/MAX/COUNT(*) answered without I/O.
+
+Once every partition of a glob table has been scanned, its zone map
+holds exact per-file row counts and column extremes; an unfiltered,
+ungrouped ``SELECT min(..), max(..), count(*)`` can then fold at plan
+time — ``files_scanned == 0``. The fold is opt-in
+(``enable_zone_aggregates``) because it changes priced counters, which
+would break cost-parity oracles that expect warm scans to still scan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PostgresRaw, PostgresRawConfig, VirtualFS
+
+
+ROWS = [
+    (1, "a", 10), (2, "b", None), (3, "a", 7), (4, "c", 2),
+    (5, "b", 30), (6, "a", 4), (7, "c", 15), (8, "b", 9),
+    (9, "a", 1), (10, "c", 22), (11, "b", 6), (12, "a", 11),
+]
+
+FOLDABLE = "SELECT count(*), min(id), max(id), min(v), max(v) FROM ev"
+
+
+def to_csv(rows) -> bytes:
+    return "".join(
+        f"{i},{t},{'' if v is None else v}\n" for i, t, v in rows
+    ).encode()
+
+
+def build(enable=True, files=3, workers=1):
+    per = len(ROWS) // files
+    vfs = VirtualFS()
+    for f in range(files):
+        vfs.create(f"ev-{f}.csv", to_csv(ROWS[f * per:(f + 1) * per]))
+    db = PostgresRaw(vfs=vfs, config=PostgresRawConfig(
+        scan_workers=workers, row_block_size=4,
+        enable_zone_aggregates=enable))
+    db.query("CREATE TABLE ev (id INTEGER, tag VARCHAR, v INTEGER) "
+             "USING csv OPTIONS (path 'ev-*.csv')")
+    return db
+
+
+def folded(result) -> bool:
+    return "ZoneAggregate" in str(result.plan)
+
+
+class TestZoneAggregates:
+    def test_flag_defaults_off(self):
+        assert PostgresRawConfig().enable_zone_aggregates is False
+        db = build(enable=False)
+        cold = db.query(FOLDABLE)
+        warm = db.query(FOLDABLE)
+        assert not folded(warm)
+        assert warm.counters.get("files_scanned") == 3
+        assert warm.rows == cold.rows
+
+    def test_warm_fold_scans_zero_files(self):
+        db = build()
+        cold = db.query(FOLDABLE)
+        assert not folded(cold)  # zones unknown: must scan
+        assert cold.counters.get("files_scanned") == 3
+        warm = db.query(FOLDABLE)
+        assert folded(warm)
+        assert warm.counters.get("files_scanned", 0) == 0
+        assert warm.rows == cold.rows == [(12, 1, 12, 1, 30)]
+
+    def test_fold_charges_no_scan_work(self):
+        db = build()
+        db.query(FOLDABLE)
+        warm = db.query(FOLDABLE)
+        assert folded(warm)
+        for counter in ("tokenize_bytes", "parse_fields", "io_bytes"):
+            assert warm.counters.get(counter) is None
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_differential_vs_disabled_twin(self, workers):
+        on = build(enable=True, workers=workers)
+        off = build(enable=False, workers=workers)
+        queries = [
+            FOLDABLE,
+            "SELECT min(v) FROM ev",
+            "SELECT count(*) FROM ev",
+            "SELECT max(id), count(*) FROM ev",
+        ]
+        for sql in queries:
+            on.query(sql)
+            off.query(sql)
+        for sql in queries:
+            got, expected = on.query(sql), off.query(sql)
+            assert folded(got), sql
+            assert got.rows == expected.rows, sql
+
+    def test_filtered_grouped_or_ordered_queries_still_scan(self):
+        db = build()
+        db.query(FOLDABLE)
+        for sql in (
+                "SELECT min(tag) FROM ev",  # tag zones not harvested yet
+                "SELECT count(*) FROM ev WHERE v > 5",
+                "SELECT tag, count(*) FROM ev GROUP BY tag",
+                "SELECT count(*), sum(v) FROM ev",  # sum is not foldable
+        ):
+            assert not folded(db.query(sql)), sql
+
+    def test_varchar_extremes_fold_once_harvested(self):
+        db = build()
+        db.query(FOLDABLE)
+        db.query("SELECT min(tag), max(tag) FROM ev")  # harvests tag zones
+        result = db.query("SELECT min(tag), max(tag) FROM ev")
+        assert folded(result)
+        assert result.rows == [("a", "c")]
+
+    def test_limit_applies_to_folded_row(self):
+        db = build()
+        db.query(FOLDABLE)
+        result = db.query("SELECT count(*) FROM ev LIMIT 0")
+        assert folded(result)
+        assert result.rows == []
+
+    def test_new_partition_file_blocks_fold_until_scanned(self):
+        db = build()
+        db.query(FOLDABLE)
+        assert folded(db.query(FOLDABLE))
+        db.vfs.create("ev-9.csv", to_csv([(99, "z", 50)]))
+        fresh = db.query(FOLDABLE)
+        assert not folded(fresh)  # the new file has no zone yet
+        assert fresh.rows == [(13, 1, 99, 1, 50)]
+        again = db.query(FOLDABLE)
+        assert folded(again)
+        assert again.rows == fresh.rows
+
+    def test_appended_rows_invalidate_that_files_zone(self):
+        db = build()
+        db.query(FOLDABLE)
+        db.vfs.append_bytes("ev-1.csv", to_csv([(77, "q", 40)]))
+        fresh = db.query(FOLDABLE)
+        assert not folded(fresh)
+        assert fresh.rows == [(13, 1, 77, 1, 40)]
+        assert folded(db.query(FOLDABLE))
+
+    def test_all_null_column_folds_to_null(self):
+        vfs = VirtualFS()
+        vfs.create("ev-0.csv", to_csv([(1, "a", None), (2, "b", None)]))
+        vfs.create("ev-1.csv", to_csv([(3, "c", None)]))
+        db = PostgresRaw(vfs=vfs, config=PostgresRawConfig(
+            enable_zone_aggregates=True, row_block_size=4))
+        db.query("CREATE TABLE ev (id INTEGER, tag VARCHAR, v INTEGER) "
+                 "USING csv OPTIONS (path 'ev-*.csv')")
+        sql = "SELECT min(v), max(v), count(*) FROM ev"
+        cold = db.query(sql)
+        warm = db.query(sql)
+        assert warm.rows == cold.rows == [(None, None, 3)]
