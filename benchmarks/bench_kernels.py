@@ -1,0 +1,117 @@
+"""Compiled scan kernels — warm wall-clock speedup, zero recompiles.
+
+Virtual cost is contractually identical with kernels on or off (the
+kernel replays the generic path's charges verbatim), so like the
+parallel-scan bench this measures the *Python interpreter*: the fused
+per-shape program removes the generic pipeline's per-block dispatch —
+per-column materialize calls, prefetch-set assembly, output-column
+branching — which dominates warm indexed scans at small row blocks.
+
+The smoke case is the acceptance bar: on a fully warm table, prepared
+re-executes must run >= 1.5x faster with kernels on, with results,
+non-kernel counters and the virtual clock bit-identical, and a fresh
+session must compile the statement's kernel exactly once across any
+number of re-executes (``?`` re-binds and repeated executes hit the
+kernel cache, never the code generator).
+"""
+
+import time
+
+from figshared import header, table
+
+import repro
+from repro import PostgresRaw, PostgresRawConfig, VirtualFS
+from repro.workloads.micro import generate_micro_csv, micro_schema
+
+ROWS, NATTRS, BLOCK = 40_000, 8, 128
+SQL = "SELECT a1, a3, a4, a6 FROM m WHERE a2 > 100000000"
+WARM_EXECS = 8
+
+
+def kernel_engine(kernels: bool):
+    vfs = VirtualFS()
+    generate_micro_csv(vfs, "m.csv", ROWS, NATTRS, seed=3)
+    engine = PostgresRaw(
+        config=PostgresRawConfig(row_block_size=BLOCK,
+                                 scan_kernels=kernels),
+        vfs=vfs)
+    engine.query(f"CREATE TABLE m ({micro_ddl_columns()}) "
+                 "USING csv OPTIONS (path 'm.csv')")
+    return engine
+
+
+def micro_ddl_columns() -> str:
+    return ", ".join(f"{c.name} {'INTEGER' if c.dtype.family == 'int' else 'VARCHAR'}"
+                     for c in micro_schema(NATTRS).columns)
+
+
+def non_kernel_counters(engine):
+    return {k: v for k, v in engine.counters().items()
+            if not k.startswith("kernel_")}
+
+
+def timed_warm_run(statement) -> float:
+    """Best-of-3 timing of WARM_EXECS prepared re-executes."""
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(WARM_EXECS):
+            statement.execute([]).fetchall()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_kernel_warm_speedup_smoke(benchmark):
+    engines = {k: kernel_engine(k) for k in (False, True)}
+    sessions = {k: repro.connect(engines[k]) for k in (False, True)}
+    statements = {k: sessions[k].prepare(SQL) for k in (False, True)}
+
+    cold = {}
+    rows = {}
+    for k in (False, True):
+        start = time.perf_counter()
+        rows[k] = statements[k].execute([]).fetchall()
+        cold[k] = time.perf_counter() - start
+        for _ in range(2):  # settle stats: epoch moves once, replans once
+            statements[k].execute([]).fetchall()
+
+    # Parity first: the speedup must be free.
+    assert rows[True] == rows[False]
+    assert non_kernel_counters(engines[True]) == \
+        non_kernel_counters(engines[False])
+    assert engines[True].clock.now() == engines[False].clock.now()
+
+    warm = {k: timed_warm_run(statements[k]) for k in (False, True)}
+    assert statements[True].execute([]).fetchall() == \
+        statements[False].execute([]).fetchall()
+    speedup = warm[False] / warm[True]
+
+    # A fresh session's kernel cache compiles the (now stats-stable)
+    # statement exactly once, however many times it re-executes.
+    session = repro.connect(engines[True])
+    before = dict(engines[True].counters())
+    statement = session.prepare(SQL)
+    for _ in range(5):
+        statement.execute([]).fetchall()
+    after = engines[True].counters()
+    compiled = after.get("kernel_compiles", 0) \
+        - before.get("kernel_compiles", 0)
+    assert compiled == 1, f"expected exactly 1 compile, saw {compiled}"
+    assert after.get("kernel_hits", 0) - before.get("kernel_hits", 0) >= 5
+    bailed = engines[True].counters().get("kernel_bailouts", 0)
+    assert bailed == 0, f"warm typed scan must never bail ({bailed})"
+
+    header("Compiled scan kernels (wall clock)",
+           "one fused program per scan shape: warm re-executes beat the "
+           "generic pipeline >= 1.5x at identical virtual cost")
+    table(["kernels", "cold ms", f"warm ms ({WARM_EXECS} execs)",
+           "speedup"],
+          [[onoff, cold[k] * 1e3, warm[k] * 1e3, warm[False] / warm[k]]
+           for k, onoff in ((False, "off"), (True, "on"))])
+
+    assert speedup >= 1.5, (
+        f"warm kernel speedup {speedup:.2f}x is below the 1.5x bar")
+
+    benchmark.pedantic(
+        lambda: statements[True].execute([]).fetchall(),
+        rounds=3, iterations=1)

@@ -284,6 +284,13 @@ class BinaryCache:
         self._blocks.move_to_end((attr, block))
         return cache_block
 
+    def peek(self, attr: int, block: int) -> CacheBlock | None:
+        """Side-effect-free probe: like :meth:`get` but without touching
+        the hit/miss counters or LRU order. Compiled scan kernels use it
+        to test their fast-path preconditions — a bailout must leave the
+        cache byte-identical to a scan that never probed."""
+        return self._blocks.get((attr, block))
+
     def _block_for(self, attr: int, block: int, rows_in_block: int,
                    family: str) -> CacheBlock:
         key = (attr, block)

@@ -27,6 +27,15 @@ def _default_scan_workers() -> int:
         return 1
 
 
+def _default_scan_kernels() -> bool:
+    """Default for compiled scan kernels: the ``REPRO_SCAN_KERNELS``
+    environment variable (the CI matrix runs a kernels-off leg so the
+    generic batch pipeline stays a living oracle), else on. ``0``,
+    ``false`` and ``off`` disable; anything else enables."""
+    return os.environ.get("REPRO_SCAN_KERNELS", "1").strip().lower() not in (
+        "0", "false", "off")
+
+
 @dataclass
 class PostgresRawConfig:
     """Tuning knobs for a PostgresRaw engine instance.
@@ -81,6 +90,15 @@ class PostgresRawConfig:
         group order — so results, PM/cache contents and simcost
         counters are bit-identical to the serial scan at any worker
         count. Defaults to ``$REPRO_SCAN_WORKERS`` when set.
+    scan_kernels:
+        When True (the default), sessions attach compiled scan kernels
+        (:mod:`repro.kernels`) to prepared plans: per (format, schema,
+        projection, predicate-shape) signature, a specialized program
+        replaces the generic per-block batch path while charging the
+        exact same priced events in the same order — results, PM/cache
+        contents, counters and the virtual clock are bit-identical to
+        the generic pipeline, which remains the differential oracle.
+        Defaults to ``$REPRO_SCAN_KERNELS`` when set.
     enable_zone_aggregates:
         Answer bare ``MIN``/``MAX``/``COUNT(*)`` on partitioned tables
         straight from per-file zone maps when every file has complete
@@ -104,6 +122,7 @@ class PostgresRawConfig:
     batch_mode: bool = True
     batch_read_bytes: int = 256 * 1024
     scan_workers: int = field(default_factory=_default_scan_workers)
+    scan_kernels: bool = field(default_factory=_default_scan_kernels)
     enable_zone_aggregates: bool = False
     dialect: CsvDialect = field(default_factory=lambda: DEFAULT_DIALECT)
 

@@ -157,6 +157,17 @@ class PositionalMap:
         # supplied files may not.
         return self._newline_terminated
 
+    def has_line_spans(self, lo: int, hi: int) -> bool:
+        """Uncharged probe: would :meth:`line_spans_block` succeed for
+        ``lo..hi-1``? Replicates its boundary checks without building
+        arrays or charging map accesses — compiled scan kernels test
+        coverage before committing to the fully-mapped fast path."""
+        if lo < 0 or hi <= lo or hi > len(self._line_starts):
+            return False
+        if hi == len(self._line_starts) and self._file_length is None:
+            return False
+        return True
+
     def line_spans_block(self, lo: int, hi: int,
                          ) -> tuple[np.ndarray, np.ndarray] | None:
         """Absolute ``(starts, ends)`` arrays for lines ``lo..hi-1``

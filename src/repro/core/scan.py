@@ -282,17 +282,20 @@ class RawCsvAccess:
         self._finalize_stats(collector)
 
     def scan_batches(self, needed: Sequence[int],
-                     predicate: ScanPredicate | None):
+                     predicate: ScanPredicate | None, kernel=None):
         """Columnar pull: yield :class:`~repro.sql.batch.ColumnBatch`
         blocks instead of tuples. On the scalar path (batch mode off)
-        this degrades to chunking the row iterator."""
+        this degrades to chunking the row iterator. ``kernel`` is an
+        optional compiled scan kernel (:mod:`repro.kernels`) taking
+        over the per-block work on the batch path."""
         from repro.sql.batch import ColumnBatch
 
         out_attrs, where_attrs, union_attrs, collector, handle = \
             self._scan_setup(needed, predicate)
         if self.batch_enabled:
             scanner = BatchCsvScan(self, out_attrs, where_attrs,
-                                   union_attrs, predicate, collector)
+                                   union_attrs, predicate, collector,
+                                   kernel=kernel)
             yield from scanner.run(handle)
         else:
             width = len(out_attrs)

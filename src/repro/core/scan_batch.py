@@ -66,6 +66,22 @@ from repro.formats.csvfmt import (
 from repro.simcost.model import RecordingModel
 from repro.sql.batch import ColumnBatch
 
+
+class _KernelBailout:
+    """Sentinel a compiled scan kernel returns when a block-level
+    precondition fails; the caller falls back to the generic block
+    path. Defined here (not in :mod:`repro.kernels`) so the format
+    accesses can compare against it without an import cycle."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "KERNEL_BAILOUT"
+
+
+#: the one bailout instance; compared by identity at the call sites
+KERNEL_BAILOUT = _KernelBailout()
+
 _NO = -1  # unknown position sentinel (absolute-offset arrays)
 _NO_POS = -1  # sentinel used inside PM chunks (relative offsets)
 
@@ -161,7 +177,7 @@ class BatchCsvScan:
     groups)."""
 
     def __init__(self, access, out_attrs, where_attrs, union_attrs,
-                 predicate, collector):
+                 predicate, collector, kernel=None):
         self.access = access
         self.model = access.model
         self.config = access.config
@@ -177,6 +193,10 @@ class BatchCsvScan:
         self.collector = collector
         self._families = access._families
         self._dtypes = access._dtypes
+        #: compiled scan kernel (repro.kernels.KernelProgram) or None;
+        #: its entry points charge the exact priced events the generic
+        #: paths below charge, in the same order.
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     def run(self, handle) -> Iterator[ColumnBatch]:
@@ -308,6 +328,15 @@ class BatchCsvScan:
 
     def _process_indexed_block(self, handle, block: int, row0: int,
                                row1: int) -> ColumnBatch | None:
+        kernel = self.kernel
+        if kernel is not None and kernel.indexed is not None:
+            batch = kernel.indexed(self, handle, block, row0, row1)
+            if batch is not KERNEL_BAILOUT:
+                return batch
+            # The probes were side-effect-free (peek, has_line_spans):
+            # the generic path below charges exactly what a kernel-less
+            # scan would. The bailout event itself is zero-priced.
+            self.model.kernel_bailout()
         model = self.model
         n = row1 - row0
         union_attrs = self.union_attrs
@@ -846,9 +875,15 @@ class BatchCsvScan:
         recorder = RecordingModel()
         view = copy.copy(self)
         view.model = recorder
+        kernel = self.kernel
         try:
-            batch = view._compute_stream_group(recorder.ops, row0, starts,
-                                               ends, buffer, buffer_base)
+            if kernel is not None and kernel.stream is not None:
+                batch = kernel.stream(view, recorder.ops, row0, starts,
+                                      ends, buffer, buffer_base)
+            else:
+                batch = view._compute_stream_group(recorder.ops, row0,
+                                                   starts, ends, buffer,
+                                                   buffer_base)
             return recorder.ops, batch, None
         except Exception as exc:  # replayed + re-raised by the merge
             return recorder.ops, None, exc

@@ -33,7 +33,13 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+import copy
+from collections import deque
+from concurrent.futures import CancelledError
+
+from repro.core.scan_batch import KERNEL_BAILOUT
 from repro.errors import CatalogError, ExecutionError, JSONLFormatError
+from repro.simcost.model import RecordingModel
 from repro.formats.csvfmt import newline_offsets
 from repro.formats.registry import FormatAdapter, register_format
 from repro.sql.scanapi import ScanPredicate
@@ -206,7 +212,7 @@ class JsonlAccess:
     """In-situ scan over one JSON-Lines table (PM + cache + stats)."""
 
     def __init__(self, vfs, path: str, schema, model, config, table_info,
-                 positional_map, cache):
+                 positional_map, cache, pool=None):
         self.vfs = vfs
         self.path = path
         self.schema = schema
@@ -215,6 +221,8 @@ class JsonlAccess:
         self.table_info = table_info
         self.pm = positional_map
         self.cache = cache
+        #: shared ScanWorkerPool (engine-owned) for streaming fan-out
+        self.pool = pool
         self.keys = [c.name.lower() for c in schema]
         self._dtypes = schema.types
         self._families = [t.family for t in schema.types]
@@ -261,7 +269,7 @@ class JsonlAccess:
             yield from batch.iter_rows()
 
     def scan_batches(self, needed: Sequence[int],
-                     predicate: ScanPredicate | None):
+                     predicate: ScanPredicate | None, kernel=None):
         self.queries_executed += 1
         out_attrs = list(needed)
         where_attrs = list(predicate.attrs) if predicate else []
@@ -277,7 +285,8 @@ class JsonlAccess:
         spanned = self._rows_with_known_span()
         yield from self._indexed_region(handle, spanned, out_attrs,
                                         where_attrs, union_attrs,
-                                        predicate, collector)
+                                        predicate, collector,
+                                        kernel=kernel)
         yield from self._streaming_region(handle, spanned, out_attrs,
                                           where_attrs, union_attrs,
                                           predicate, collector)
@@ -399,7 +408,7 @@ class JsonlAccess:
     # Indexed region: line spans known to the map
     # ==================================================================
     def _indexed_region(self, handle, spanned, out_attrs, where_attrs,
-                        union_attrs, predicate, collector):
+                        union_attrs, predicate, collector, kernel=None):
         if spanned == 0:
             return
         block_size = self.config.row_block_size
@@ -407,9 +416,20 @@ class JsonlAccess:
         while row < spanned:
             block = row // block_size
             block_end = min((block + 1) * block_size, spanned)
-            yield self._process_block(
-                handle, block, row, block_end, out_attrs, where_attrs,
-                union_attrs, predicate, collector)
+            batch = None
+            if kernel is not None and kernel.indexed is not None:
+                batch = kernel.indexed(self, handle, block, row,
+                                       block_end, predicate, collector)
+                if batch is KERNEL_BAILOUT:
+                    # Probes were side-effect-free; the generic block
+                    # below charges exactly what it always charges.
+                    self.model.kernel_bailout()
+                    batch = None
+            if batch is None:
+                batch = self._process_block(
+                    handle, block, row, block_end, out_attrs,
+                    where_attrs, union_attrs, predicate, collector)
+            yield batch
             row = block_end
 
     def _process_block(self, handle, block, row0, row1, out_attrs,
@@ -635,7 +655,27 @@ class JsonlAccess:
             self.row_count = spanned
             self.table_info.row_count_hint = spanned
             return
+        scan_args = (out_attrs, where_attrs, union_attrs, predicate,
+                     collector)
+        pool = self.pool if self.config.scan_workers > 1 else None
+        if pool is not None:
+            yield from self._stream_parallel(pool, file_size,
+                                             start_offset, spanned,
+                                             *scan_args)
+        else:
+            yield from self._stream_serial(handle, file_size,
+                                           start_offset, spanned,
+                                           *scan_args)
 
+    def _stream_serial(self, handle, file_size, start_offset, spanned,
+                       out_attrs, where_attrs, union_attrs, predicate,
+                       collector):
+        """Single-threaded driver: read sequentially, discover lines,
+        run each row-block group inline (compute + replay) — the same
+        compute/apply split the parallel driver merges, so both paths
+        evolve the engine identically by construction."""
+        pm = self.pm
+        track = pm is not None
         block_size = self.config.row_block_size
         handle.seek(start_offset)
         read_size = self.config.batch_read_bytes
@@ -665,9 +705,14 @@ class JsonlAccess:
                                >= block_size - row % block_size):
                 take = min(len(pending), block_size - row % block_size)
                 group, pending = pending[:take], pending[take:]
-                batch = self._stream_group(
-                    row, group, buffer, buffer_start, out_attrs,
-                    where_attrs, union_attrs, predicate, collector)
+                ops, batch, error = self._group_task(
+                    row, group,
+                    self._group_slice(buffer, buffer_start, group),
+                    int(group[0][0]), out_attrs, where_attrs,
+                    union_attrs, predicate, collector)
+                self._apply_staged(ops, union_attrs, collector)
+                if error is not None:
+                    raise error
                 row += take
                 consumed = min(group[-1][1] + 1 - buffer_start,
                                len(buffer))
@@ -681,11 +726,193 @@ class JsonlAccess:
         self.row_count = row
         self.table_info.row_count_hint = row
 
-    def _stream_group(self, row0, spans, buffer, buffer_base, out_attrs,
-                      where_attrs, union_attrs, predicate, collector):
-        """One group of freshly discovered lines, all in one row block:
-        full tokenization (positions recorded for the map), predicate,
-        selective conversion, cache/stat/PM flushes, one batch out."""
+    def _stream_parallel(self, pool, file_size, start_offset, spanned,
+                         out_attrs, where_attrs, union_attrs, predicate,
+                         collector):
+        """Fan-out driver: the same read/group-formation loop as
+        :meth:`_stream_serial`, but groups compute on the shared
+        ``ScanWorkerPool`` while the driver reads ahead. A merge
+        replays each schedule entry — recorded read charges and
+        completed groups' op logs — in exact serial order, so batch
+        delivery, PM/cache contents, statistics, counters and the
+        virtual clock are identical to the serial driver at any worker
+        count (the CSV streaming region's contract)."""
+        config = self.config
+        pm = self.pm
+        track = pm is not None
+        block_size = config.row_block_size
+        read_size = config.batch_read_bytes
+
+        # Reads charge into a recorder so their cost replays in serial
+        # order even though the driver reads ahead of the merge.
+        read_rec = RecordingModel()
+        rhandle = self.vfs.open(self.path, read_rec, notify=False)
+        rhandle.seek(start_offset)
+
+        depth = 2 * pool.workers        # groups in flight (read-ahead bound)
+        schedule: deque = deque()       # ("r", ops) | ("g", future)
+        state = {"in_flight": 0, "row": spanned, "buffer": b"",
+                 "buffer_start": start_offset,
+                 "next_start": start_offset, "eof": False,
+                 "newline_terminated": True}
+        pending: list[tuple[int, int]] = []
+
+        def dispatch_groups() -> None:
+            while pending and (
+                    state["eof"] or len(pending)
+                    >= block_size - state["row"] % block_size):
+                take = min(len(pending),
+                           block_size - state["row"] % block_size)
+                group = pending[:take]
+                del pending[:take]
+                group_buf = self._group_slice(
+                    state["buffer"], state["buffer_start"], group)
+                schedule.append(("g", pool.submit(
+                    self._group_task, state["row"], group, group_buf,
+                    int(group[0][0]), out_attrs, where_attrs,
+                    union_attrs, predicate, collector)))
+                state["in_flight"] += 1
+                state["row"] += take
+                consumed = min(group[-1][1] + 1 - state["buffer_start"],
+                               len(state["buffer"]))
+                if consumed > 0:
+                    state["buffer"] = state["buffer"][consumed:]
+                    state["buffer_start"] += consumed
+
+        def read_more() -> None:
+            chunk = rhandle.read_sequential(read_size)
+            if not chunk:
+                state["eof"] = True
+                end_of_data = state["buffer_start"] + len(state["buffer"])
+                if end_of_data > state["next_start"]:
+                    state["newline_terminated"] = False
+                    pending.append((state["next_start"], end_of_data))
+            else:
+                read_rec.newline_scan(len(chunk))
+                chunk_base = state["buffer_start"] + len(state["buffer"])
+                state["buffer"] += chunk
+                for nl in (newline_offsets(chunk)
+                           + chunk_base).tolist():
+                    pending.append((state["next_start"], nl))
+                    state["next_start"] = nl + 1
+            ops = read_rec.take_ops()
+            if ops:
+                schedule.append(("r", ops))
+            dispatch_groups()
+
+        try:
+            while True:
+                while not state["eof"] and state["in_flight"] < depth:
+                    read_more()
+                if not schedule:
+                    break
+                kind, payload = schedule.popleft()
+                if kind == "r":
+                    self._apply_staged(payload, union_attrs, collector)
+                    continue
+                try:
+                    ops, batch, error = payload.result()
+                except CancelledError:
+                    # CancelledError is a BaseException and would
+                    # escape the scheduler's error containment,
+                    # leaking the job's admission slot.
+                    raise ExecutionError(
+                        "scan worker pool was shut down while this "
+                        "parallel scan was streaming (engine.close() "
+                        "during a live query); re-run the query"
+                    ) from None
+                state["in_flight"] -= 1
+                self._apply_staged(ops, union_attrs, collector)
+                if error is not None:
+                    raise error
+                if batch is not None:
+                    yield batch
+        finally:
+            # Abandoned scan (or an error above): drop the unmerged
+            # tail — structures hold exactly the merged prefix, as
+            # after an abandoned serial scan at the same boundary.
+            for kind, payload in schedule:
+                if kind == "g":
+                    payload.cancel()
+
+        if track:
+            pm.set_file_length(
+                file_size,
+                newline_terminated=state["newline_terminated"])
+        self.row_count = state["row"]
+        self.table_info.row_count_hint = state["row"]
+
+    @staticmethod
+    def _group_slice(buffer: bytes, buffer_start: int,
+                     group: list) -> bytes:
+        """The byte window covering one group's lines; workers slice
+        their private lines out of it by absolute offset."""
+        return buffer[group[0][0] - buffer_start:
+                      group[-1][1] - buffer_start]
+
+    def _group_task(self, row0, spans, buffer, buffer_base, out_attrs,
+                    where_attrs, union_attrs, predicate, collector):
+        """One pool task: compute a streaming group against a
+        recording model. Returns ``(ops, batch, error)``; never raises,
+        so the merge can replay the charges recorded before a failure
+        and re-raise in canonical order. Runs on worker threads:
+        touches no shared engine state, only its private byte slice
+        and the recorder."""
+        recorder = RecordingModel()
+        view = copy.copy(self)
+        view.model = recorder
+        try:
+            batch = view._compute_stream_group(
+                recorder.ops, row0, spans, buffer, buffer_base,
+                out_attrs, where_attrs, union_attrs, predicate,
+                collector)
+            return recorder.ops, batch, None
+        except Exception as exc:   # replayed + re-raised by the merge
+            return recorder.ops, None, exc
+
+    def _apply_staged(self, ops: list, union_attrs, collector) -> None:
+        """Replay one op log against the real model and structures, in
+        the exact order the serial path would have performed them — so
+        the clock, PM, cache and statistics evolve identically."""
+        model = self.model
+        for op in ops:
+            tag = op[0]
+            if tag == "c":
+                model.charge(op[1], op[2])
+            elif tag == "lines":
+                _, starts, row0, n = op
+                known = self.pm.known_line_count
+                if row0 + n > known:
+                    self.pm.append_line_starts(
+                        starts[max(0, known - row0):])
+            elif tag == "collect":
+                for row_values in op[1]:
+                    collector.add_row(row_values)
+            elif tag == "jpm":
+                _, block, n, views, first_in_block = op
+                existing = {}
+                if self.pm is not None \
+                        and self.config.enable_positional_map:
+                    for attr in union_attrs:
+                        column = self.pm.positions(block, attr)
+                        if column is not None:
+                            existing[attr] = column
+                self._flush_positions(block, n, dict(enumerate(views)),
+                                      union_attrs, existing,
+                                      first_in_block=first_in_block)
+            else:  # "jcache"
+                _, attr, block, rows_in_block, entries, family = op
+                self.cache.put(attr, block, rows_in_block, entries,
+                               family)
+
+    def _compute_stream_group(self, ops, row0, spans, buffer,
+                              buffer_base, out_attrs, where_attrs,
+                              union_attrs, predicate, collector):
+        """Compute one group of freshly discovered lines — all within
+        a single row block: full tokenization (positions staged for
+        the map), predicate, selective conversion, staged cache/stat/
+        PM contributions, one batch out. ``self`` is a worker view
+        whose ``model`` is the charge recorder feeding ``ops``."""
         from repro.sql.batch import ColumnBatch
 
         model = self.model
@@ -696,20 +923,17 @@ class JsonlAccess:
         rows_in_block = first_in_block + n
         model.tuple_overhead(n)
 
-        pm = self.pm
-        if pm is not None:
-            known = pm.known_line_count
-            fresh = [s for i, (s, _e) in enumerate(spans)
-                     if row0 + i >= known]
-            if fresh:
-                pm.append_line_starts(np.asarray(fresh, dtype=np.int64))
+        if self.pm is not None:
+            starts = np.asarray([s for s, _e in spans], dtype=np.int64)
+            ops.append(("lines", starts, row0, n))
 
         views = [
             _RowView(self, buffer[s - buffer_base:e - buffer_base])
             for s, e in spans
         ]
         columns: dict[int, np.ndarray] = {}
-        cache_entries: dict[int, list] = {attr: [] for attr in union_attrs}
+        cache_entries: dict[int, list] = {attr: []
+                                          for attr in union_attrs}
 
         def materialize(attr: int, row_mask: np.ndarray) -> np.ndarray:
             values = np.empty(n, dtype=object)
@@ -730,7 +954,8 @@ class JsonlAccess:
         for attr in where_attrs:
             columns[attr] = materialize(attr, every)
         if predicate is not None:
-            qual = self._predicate_mask(predicate, where_attrs, columns, n)
+            qual = self._predicate_mask(predicate, where_attrs, columns,
+                                        n)
         else:
             qual = every
         qual_idx = np.flatnonzero(qual)
@@ -740,23 +965,22 @@ class JsonlAccess:
         model.tuple_form(len(out_attrs) * len(qual_idx))
 
         if collector is not None:
-            self._collect_rows(collector, columns, where_attrs,
-                               out_attrs, qual, n)
+            staged_rows = []
+            for i in range(n):
+                row_values = {attr: columns[attr][i]
+                              for attr in where_attrs}
+                if qual[i]:
+                    for attr in out_attrs:
+                        row_values[attr] = columns[attr][i]
+                staged_rows.append(row_values)
+            ops.append(("collect", staged_rows))
 
-        existing = {}
-        if pm is not None and self.config.enable_positional_map:
-            for attr in union_attrs:
-                column = pm.positions(block, attr)
-                if column is not None:
-                    existing[attr] = column
-        self._flush_positions(block, n, dict(enumerate(views)),
-                              union_attrs, existing,
-                              first_in_block=first_in_block)
+        ops.append(("jpm", block, n, views, first_in_block))
         if self.cache is not None:
             for attr, entries in cache_entries.items():
                 if entries:
-                    self.cache.put(attr, block, rows_in_block, entries,
-                                   self._families[attr])
+                    ops.append(("jcache", attr, block, rows_in_block,
+                                entries, self._families[attr]))
         out_columns = [columns[attr][qual_idx] for attr in out_attrs]
         return ColumnBatch(out_columns, len(qual_idx))
 
@@ -796,7 +1020,8 @@ class JsonlAdapter(FormatAdapter):
                                                           model=model)
         return JsonlAccess(engine.vfs, info.path, info.schema,
                            model, engine.config, info,
-                           positional_map, cache)
+                           positional_map, cache,
+                           pool=getattr(engine, "scan_pool", None))
 
 
 register_format(JsonlAdapter())

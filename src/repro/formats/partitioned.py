@@ -46,7 +46,9 @@ before any file has been scanned.
 
 from __future__ import annotations
 
+import datetime
 import fnmatch
+import json
 import re
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -67,6 +69,28 @@ from repro.sql.stats import ColumnStats, TableStats
 _GLOB_CHARS = frozenset("*?[")
 _PARTITION_BY_RE = re.compile(
     r"^\s*([A-Za-z_]\w*)\s+from\s+filename\s*$", re.IGNORECASE)
+
+#: Zone-map sidecars live under their own VFS prefix (never inside the
+#: data directories, so a table glob like ``data/*`` cannot match
+#: them). Like the positional map and binary cache, they are engine
+#: metadata — written and read uncosted — but unlike those they are
+#: persisted to the VFS, so a fresh engine over the same VFS starts
+#: with warm per-file zone maps (file pruning before any rescan).
+_ZONE_PREFIX = "__zones__/"
+
+
+def _pack_zone_value(value):
+    """JSON-encode one zone bound, tagging types JSON cannot round-trip
+    natively (dates as ISO strings)."""
+    if isinstance(value, datetime.date):
+        return {"date": value.isoformat()}
+    return value
+
+
+def _unpack_zone_value(value):
+    if isinstance(value, dict):
+        return datetime.date.fromisoformat(value["date"])
+    return value
 
 
 def _is_glob(path) -> bool:
@@ -90,7 +114,8 @@ def expand_glob(vfs, pattern: str) -> list[str]:
     if not _is_glob(pattern):
         return [pattern] if vfs.exists(pattern) else []
     return sorted(path for path in vfs.listdir()
-                  if fnmatch.fnmatchcase(path, pattern))
+                  if fnmatch.fnmatchcase(path, pattern)
+                  and not path.startswith(_ZONE_PREFIX))
 
 
 def _parse_partition_by(spec) -> str:
@@ -257,7 +282,59 @@ class PartitionedAccess:
         part._seen_size = self.vfs.size(path)
         if self.partition_column is not None:
             part.zone[self.partition_column] = self._seed_bounds(part)
+        self._load_zone(part)
         return part
+
+    # -- zone persistence ----------------------------------------------
+    def _zone_path(self, part: _Partition) -> str:
+        return _ZONE_PREFIX + part.path.lstrip("/")
+
+    def _persist_zone(self, part: _Partition) -> None:
+        """Write the file's zone map to its sidecar so the next engine
+        over this VFS prunes without rescanning. Catalog metadata, so
+        the write is uncosted (``write_bytes`` bypasses costed
+        handles), mirroring how the zone itself is consulted at plan
+        time for free."""
+        if part.row_count is None:
+            return
+        payload = {
+            "rewrites": part._seen_rewrites,
+            "size": part._seen_size,
+            "row_count": part.row_count,
+            "empty": part.empty,
+            "zone": {name: [_pack_zone_value(lo), _pack_zone_value(hi)]
+                     for name, (lo, hi) in part.zone.items()},
+        }
+        self.vfs.write_bytes(self._zone_path(part),
+                             json.dumps(payload).encode())
+
+    def _load_zone(self, part: _Partition) -> None:
+        """Restore a sidecar written by a previous engine — but only
+        when its recorded (rewrite_count, size) still matches the data
+        file, i.e. the bounds provably cover every current row."""
+        path = self._zone_path(part)
+        if not self.vfs.exists(path):
+            return
+        try:
+            payload = json.loads(self.vfs.read_bytes(path).decode())
+        except (ValueError, UnicodeDecodeError):
+            return  # corrupt sidecar: treat as absent
+        if (payload.get("rewrites") != part._seen_rewrites
+                or payload.get("size") != part._seen_size):
+            return  # data file changed since the sidecar was written
+        row_count = payload.get("row_count")
+        if not isinstance(row_count, int):
+            return
+        part.row_count = row_count
+        part.empty = bool(payload.get("empty"))
+        for name, bounds in payload.get("zone", {}).items():
+            if not self.schema.has_column(name):
+                continue
+            try:
+                part.zone[name.lower()] = (_unpack_zone_value(bounds[0]),
+                                           _unpack_zone_value(bounds[1]))
+            except (KeyError, IndexError, TypeError, ValueError):
+                continue
 
     def _seed_bounds(self, part: _Partition) -> tuple:
         if part.key is None:
@@ -510,17 +587,17 @@ class PartitionedAccess:
         part.row_count = rows
         part.empty = rows == 0
         stats = part.info.stats
-        if stats is None or rows == 0:
-            return
-        for column in self.schema:
-            col = stats.column(column.name)
-            if col is None or col.observed_rows != rows:
-                continue
-            if (col.observed_min is None
-                    and col.observed_nulls < col.observed_rows):
-                continue  # unorderable values: no usable bounds
-            part.zone[column.name.lower()] = (col.observed_min,
-                                              col.observed_max)
+        if stats is not None and rows > 0:
+            for column in self.schema:
+                col = stats.column(column.name)
+                if col is None or col.observed_rows != rows:
+                    continue
+                if (col.observed_min is None
+                        and col.observed_nulls < col.observed_rows):
+                    continue  # unorderable values: no usable bounds
+                part.zone[column.name.lower()] = (col.observed_min,
+                                                  col.observed_max)
+        self._persist_zone(part)
 
     def _fold_parent_stats(self) -> None:
         """Aggregate child statistics into the parent's TableStats so

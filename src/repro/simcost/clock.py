@@ -49,6 +49,9 @@ class CostEvent(enum.Enum):
     FILES_PRUNED = "files_pruned"            # partition files skipped via zone maps
     ROLLUP_HITS = "rollup_hits"              # aggregate queries routed to a rollup
     ROLLUP_MISSES = "rollup_misses"          # aggregate queries falling back to raw
+    KERNEL_HITS = "kernel_hits"              # executions served by a compiled scan kernel
+    KERNEL_COMPILES = "kernel_compiles"      # scan kernels generated and compiled
+    KERNEL_BAILOUTS = "kernel_bailouts"      # kernel blocks falling back to the generic path
 
 
 @dataclass

@@ -166,6 +166,16 @@ class CostModel:
     def rollup_miss(self, count: int = 1) -> None:
         self.charge(CostEvent.ROLLUP_MISSES, count)
 
+    # -- compiled scan kernels -----------------------------------------------
+    def kernel_hit(self, count: int = 1) -> None:
+        self.charge(CostEvent.KERNEL_HITS, count)
+
+    def kernel_compile(self, count: int = 1) -> None:
+        self.charge(CostEvent.KERNEL_COMPILES, count)
+
+    def kernel_bailout(self, count: int = 1) -> None:
+        self.charge(CostEvent.KERNEL_BAILOUTS, count)
+
     # -- loaded-engine binary pages ------------------------------------------
     def deserialize(self, nattrs: int) -> None:
         self.charge(CostEvent.DESERIALIZE, nattrs)

@@ -158,6 +158,11 @@ class ScanOp(PlanOp):
         self.table_name = table_name
         # Plan-time PartitionSelection for partitioned tables (EXPLAIN).
         self.partitions = None
+        # Compiled scan kernel (repro.kernels), attached by the session
+        # when the plan is prepared; ``kernel_info`` is the EXPLAIN
+        # string (``<sig> (hit|compiled)`` / ``none (<reason>)``).
+        self.kernel = None
+        self.kernel_info = None
 
     def rows(self) -> Iterator[tuple]:
         return self.access.scan(self.needed, self.predicate)
@@ -169,6 +174,10 @@ class ScanOp(PlanOp):
 
     def batches(self) -> Iterator[ColumnBatch]:
         if self.supports_batches:
+            if self.kernel is not None:
+                return self.access.scan_batches(self.needed,
+                                                self.predicate,
+                                                kernel=self.kernel)
             return self.access.scan_batches(self.needed, self.predicate)
         return super().batches()
 
@@ -185,6 +194,12 @@ class ScanOp(PlanOp):
             out["files"] = self.partitions.total
             out["files_scanned"] = self.partitions.scanned
             out["files_pruned"] = self.partitions.pruned
+        # ``kernel_info`` is deliberately NOT part of the plan summary:
+        # it is session state (hit/compiled against *that* session's
+        # kernel cache), so ``Database.explain()`` and a session's
+        # EXPLAIN of the same SQL would otherwise describe the same
+        # plan differently. The session renders it as extra EXPLAIN
+        # rows instead.
         return out
 
 

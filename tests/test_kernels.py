@@ -1,0 +1,276 @@
+"""Compiled scan kernels: differential fuzz + cache lifecycle.
+
+The kernel path (``repro.kernels``) is a per-query specialization of
+the generic batch scan and must be *invisible* except in wall-clock
+time and its own zero-priced counters. The contract under test:
+
+* **On-vs-off parity** — identical result sequences, positional-map
+  and binary-cache dumps, every non-``kernel_*`` counter and the
+  virtual clock itself, with 1 and 4 scan workers, over seeded random
+  schemas/data/workloads (CSV) and JSONL tables.
+* **Bailouts are per block** — unsupported block states (string
+  columns on CSV, not-yet-cached columns) fall back to the generic
+  code for that block only; results never change.
+* **Cache lifecycle** — first prepare compiles (``kernel: <sig>
+  (compiled)`` in EXPLAIN), later prepares hit, a catalog stats-epoch
+  bump invalidates and recompiles exactly once, and ``?`` re-binds
+  never recompile.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro import PostgresRaw, PostgresRawConfig, VirtualFS
+from repro.formats.csvfmt import write_csv
+from repro.formats.jsonl import write_jsonl
+
+from tests.test_batch_differential import (
+    cache_dump,
+    pm_dump,
+    random_query,
+    random_schema,
+    random_table,
+)
+
+WORKER_COUNTS = (1, 4)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+def kernel_engine(schema, payload: bytes, workers: int, kernels: bool,
+                  block_size: int = 16, **config_kwargs) -> PostgresRaw:
+    vfs = VirtualFS()
+    vfs.create("t.csv", payload)
+    engine = PostgresRaw(
+        config=PostgresRawConfig(row_block_size=block_size,
+                                 scan_workers=workers,
+                                 scan_kernels=kernels, **config_kwargs),
+        vfs=vfs)
+    engine.register_csv("t", "t.csv", schema)
+    return engine
+
+
+def comparable_state(engine, table="t"):
+    """Everything the parity contract covers — kernel_* counters are
+    the kernel path's own observability and are excluded."""
+    return {
+        "pm": pm_dump(engine.positional_map_of(table)),
+        "cache": cache_dump(engine.cache_of(table)),
+        "counters": {k: v for k, v in engine.counters().items()
+                     if not k.startswith("kernel_")},
+        "clock": engine.clock.now(),
+    }
+
+
+def kernel_counters(engine):
+    return {k: v for k, v in engine.counters().items()
+            if k.startswith("kernel_")}
+
+
+def explain_kernel_lines(session, sql):
+    cursor = session.execute("EXPLAIN " + sql)
+    return [row[0] for row in cursor.fetchall()
+            if row[0].startswith("kernel:")]
+
+
+# ---------------------------------------------------------------------------
+# Differential fuzz: kernels on vs off must be invisible
+# ---------------------------------------------------------------------------
+class TestKernelDifferentialFuzz:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_csv_random_workloads_match(self, seed, workers):
+        rng = random.Random(72000 + seed)
+        schema = random_schema(rng)
+        payload = write_csv(random_table(rng, schema))
+        block_size = rng.choice([3, 8, 17, 64])
+        queries = [random_query(rng, schema) for _ in range(5)]
+
+        on = kernel_engine(schema, payload, workers, True, block_size)
+        off = kernel_engine(schema, payload, workers, False, block_size)
+        s_on, s_off = repro.connect(on), repro.connect(off)
+        for sql in queries:
+            for _ in range(2):  # cold + warm execution of each shape
+                rows_on = s_on.execute(sql).fetchall()
+                rows_off = s_off.execute(sql).fetchall()
+                assert rows_on == rows_off, f"seed={seed}: {sql!r}"
+            assert comparable_state(on) == comparable_state(off), \
+                f"seed={seed} diverged after {sql!r}"
+        assert kernel_counters(off) == {}
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_jsonl_workloads_match(self, workers):
+        rows = [{"a": i, "b": i % 23, "c": f"s{i % 7}", "d": i * 0.25}
+                for i in range(400)]
+
+        def build(kernels):
+            vfs = VirtualFS()
+            write_jsonl(rows, vfs, "t.jsonl")
+            engine = PostgresRaw(
+                config=PostgresRawConfig(row_block_size=32,
+                                         scan_workers=workers,
+                                         scan_kernels=kernels),
+                vfs=vfs)
+            engine.query(
+                "CREATE TABLE t (a INTEGER, b INTEGER, c VARCHAR, "
+                "d FLOAT) USING jsonl OPTIONS (path 't.jsonl')")
+            return engine
+
+        on, off = build(True), build(False)
+        s_on, s_off = repro.connect(on), repro.connect(off)
+        queries = [
+            "SELECT a, d FROM t WHERE b < 7",       # cold: streaming
+            "SELECT c FROM t WHERE a >= 150",       # bail: a not cached
+            "SELECT a, b, c, d FROM t",             # no predicate
+            "SELECT sum(d) FROM t WHERE b = 3",     # aggregate above scan
+        ]
+        for sql in queries:
+            for _ in range(3):
+                assert s_on.execute(sql).fetchall() == \
+                    s_off.execute(sql).fetchall(), sql
+            assert comparable_state(on) == comparable_state(off), sql
+
+    def test_worker_counts_identical_with_kernels(self):
+        """The kernel path preserves PR-4's worker-invariance contract:
+        1 and 4 workers agree on everything, kernels on."""
+        rng = random.Random(9151)
+        schema = random_schema(rng)
+        payload = write_csv(random_table(rng, schema))
+        queries = [random_query(rng, schema) for _ in range(4)]
+        engines = {w: kernel_engine(schema, payload, w, True, 8)
+                   for w in WORKER_COUNTS}
+        sessions = {w: repro.connect(engines[w]) for w in WORKER_COUNTS}
+        for sql in queries:
+            results = {w: sessions[w].execute(sql).fetchall()
+                       for w in WORKER_COUNTS}
+            assert results[4] == results[1], sql
+            # Same blocks bail on both sides: kernel_* counters match.
+            assert engines[4].counters() == engines[1].counters(), sql
+            assert comparable_state(engines[4]) == \
+                comparable_state(engines[1]), sql
+
+
+# ---------------------------------------------------------------------------
+# Bailouts: per-block fallback, never per query
+# ---------------------------------------------------------------------------
+class TestKernelBailouts:
+    def test_uncached_where_column_bails_then_recovers(self):
+        rows = [[str(i), str(i % 13), f"w{i % 5}"] for i in range(96)]
+        schema = repro.Schema([("a", repro.INTEGER),
+                               ("b", repro.INTEGER),
+                               ("c", repro.varchar())])
+        on = kernel_engine(schema, write_csv(rows), 1, True, 16)
+        off = kernel_engine(schema, write_csv(rows), 1, False, 16)
+        s_on, s_off = repro.connect(on), repro.connect(off)
+        # Warm `a` only; then predicate on the uncached `b` must bail
+        # per block on the first run and go fully fused on the second.
+        for sql in ("SELECT a FROM t WHERE a < 40",
+                    "SELECT a FROM t WHERE b = 3",
+                    "SELECT a FROM t WHERE b = 3"):
+            assert s_on.execute(sql).fetchall() == \
+                s_off.execute(sql).fetchall(), sql
+            assert comparable_state(on) == comparable_state(off), sql
+        counters = kernel_counters(on)
+        assert counters.get("kernel_bailouts", 0) > 0
+        assert counters.get("kernel_hits", 0) > 0
+
+    def test_string_column_output_stays_identical(self):
+        rows = [[str(i), f"name_{i % 9}"] for i in range(64)]
+        schema = repro.Schema([("a", repro.INTEGER),
+                               ("s", repro.varchar())])
+        on = kernel_engine(schema, write_csv(rows), 1, True, 16)
+        off = kernel_engine(schema, write_csv(rows), 1, False, 16)
+        s_on, s_off = repro.connect(on), repro.connect(off)
+        sql = "SELECT s FROM t WHERE a >= 20"
+        for _ in range(3):
+            assert s_on.execute(sql).fetchall() == \
+                s_off.execute(sql).fetchall()
+            assert comparable_state(on) == comparable_state(off)
+
+    def test_bailouts_cost_nothing(self):
+        """kernel_* events are observability, not work: they never move
+        the virtual clock (asserted indirectly by every parity test,
+        directly here)."""
+        rows = [[str(i), str(i % 7)] for i in range(48)]
+        schema = repro.Schema([("a", repro.INTEGER),
+                               ("b", repro.INTEGER)])
+        engine = kernel_engine(schema, write_csv(rows), 1, True, 16)
+        session = repro.connect(engine)
+        for _ in range(3):
+            session.execute("SELECT a FROM t WHERE b < 4").fetchall()
+        assert kernel_counters(engine)  # events were recorded ...
+        clock = engine.clock
+        before = clock.now()
+        engine.model.kernel_hit(5)
+        engine.model.kernel_compile()
+        engine.model.kernel_bailout()
+        assert clock.now() == before  # ... at zero price
+
+
+# ---------------------------------------------------------------------------
+# Cache lifecycle: compiled -> hit -> epoch invalidation -> compiled
+# ---------------------------------------------------------------------------
+class TestKernelCacheLifecycle:
+    @staticmethod
+    def _fresh(kernels=True):
+        rows = [[str(i), str(i % 11)] for i in range(80)]
+        schema = repro.Schema([("a", repro.INTEGER),
+                               ("b", repro.INTEGER)])
+        engine = kernel_engine(schema, write_csv(rows), 1, kernels, 16)
+        return engine, repro.connect(engine)
+
+    def test_explain_reports_compile_then_hit(self):
+        engine, session = self._fresh()
+        sql = "SELECT a FROM t WHERE b < 5"
+        lines = explain_kernel_lines(session, sql)
+        assert len(lines) == 1 and "(compiled)" in lines[0]
+        assert "csv:" in lines[0]
+        # A distinct statement with the same value-free shape (literals
+        # are excluded from the signature) hits the kernel cache.
+        lines = explain_kernel_lines(session, "SELECT a FROM t WHERE b < 9")
+        assert len(lines) == 1 and "(hit)" in lines[0]
+
+    def test_epoch_bump_invalidates_and_recompiles_once(self):
+        engine, session = self._fresh()
+        statement = session.prepare("SELECT a FROM t WHERE b < ?")
+        statement.execute([5]).fetchall()   # stats arrive: epoch moves
+        statement.execute([5]).fetchall()   # replans once, then stable
+        settled = engine.counters().get("kernel_compiles", 0)
+        for _ in range(4):
+            statement.execute([5]).fetchall()
+        assert engine.counters().get("kernel_compiles", 0) == settled
+        engine.catalog.bump_epoch()         # e.g. a rename / new rollup
+        statement.execute([5]).fetchall()
+        assert engine.counters().get("kernel_compiles", 0) == settled + 1
+        assert session.kernels.invalidations >= 1
+
+    def test_param_rebind_never_recompiles(self):
+        engine, session = self._fresh()
+        statement = session.prepare("SELECT a FROM t WHERE b < ?")
+        expected = {}
+        for bound in (3, 7, 3, 10):
+            rows = statement.execute([bound]).fetchall()
+            expected.setdefault(bound, rows)
+            assert rows == expected[bound]
+        # Distinct parameter values share one kernel: compile count is
+        # whatever stats settling required, independent of re-binds.
+        compiles = engine.counters().get("kernel_compiles", 0)
+        statement.execute([999]).fetchall()
+        assert engine.counters().get("kernel_compiles", 0) == compiles
+        assert engine.counters().get("kernel_hits", 0) >= 5
+
+    def test_disabled_config_reports_reason_and_stays_generic(self):
+        engine, session = self._fresh(kernels=False)
+        lines = explain_kernel_lines(session, "SELECT a FROM t")
+        assert lines == ["kernel: none (scan_kernels disabled) [t]"]
+        session.execute("SELECT a FROM t").fetchall()
+        assert kernel_counters(engine) == {}
+
+    def test_env_gate_controls_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_KERNELS", "0")
+        assert PostgresRawConfig().scan_kernels is False
+        monkeypatch.setenv("REPRO_SCAN_KERNELS", "1")
+        assert PostgresRawConfig().scan_kernels is True
