@@ -1,0 +1,111 @@
+"""Fault-tolerance machinery must be (nearly) free on the clean path.
+
+The fault-injection hook sits on every costed read
+(:meth:`VirtualFS.fault_check`), and the error-policy plumbing wraps
+every scanned row's conversion — so the robustness PR's bargain is only
+honest if a fault-free engine pays essentially nothing for it. Two
+checks:
+
+* **Exactness**: a :class:`FaultInjectingVFS` with ``rate=0`` produces
+  bit-identical results, counters and virtual-clock time to a plain
+  :class:`VirtualFS` — the hook charges nothing when no fault fires.
+* **Wall clock**: the warm Q1-style aggregate sweep runs within 2%
+  of the plain-VFS wall time (median of several rounds; the hook is a
+  dict update and two comparisons per read).
+"""
+
+import time
+
+from figshared import header, table
+
+from repro import PostgresRaw, PostgresRawConfig, VirtualFS
+from repro.storage.faults import FaultInjectingVFS
+from repro.workloads.micro import generate_micro_csv, micro_schema
+
+ROWS = 2000
+ATTRS = 10
+Q1 = "SELECT a1, a2, a3 FROM m WHERE a1 > 50"
+SWEEP = 20
+ROUNDS = 10
+
+
+def build_engine(vfs_cls):
+    vfs = vfs_cls()
+    generate_micro_csv(vfs, "m.csv", ROWS, ATTRS, seed=0)
+    engine = PostgresRaw(config=PostgresRawConfig(), vfs=vfs)
+    engine.register_csv("m", "m.csv", micro_schema(ATTRS))
+    engine.query(Q1)  # warm: PM + cache built, kernels aside
+    return engine
+
+
+def measure_overhead(plain, faulty) -> tuple[float, float, float]:
+    """``(overhead, t_plain, t_faulty)`` for one warm Q1 sweep.
+
+    Each sample is a *pair*: one plain-VFS query and one fault-VFS
+    query back to back, so CPU-state drift (frequency scaling, cache
+    pressure from unrelated processes) cancels within the pair, and
+    the median of the per-pair ratios discards jitter spikes that hit
+    only one side. Whoever runs second in a pair inherits warm CPU
+    caches from the first, so pair order alternates and the two
+    order-biased medians are combined geometrically — the bias
+    cancels, the hook's (per-read, deterministic) overhead does not."""
+    ratios = [[], []]  # [plain-first, faulty-first] faulty/plain ratios
+    t_plain = t_faulty = float("inf")
+    for sample in range(ROUNDS * SWEEP):
+        first, second = ((plain, faulty) if sample % 2 == 0
+                         else (faulty, plain))
+        t0 = time.perf_counter()
+        first.query(Q1)
+        t1 = time.perf_counter()
+        second.query(Q1)
+        t2 = time.perf_counter()
+        dt_first, dt_second = t1 - t0, t2 - t1
+        if sample % 2 == 0:
+            ratios[0].append(dt_second / dt_first)
+            t_plain = min(t_plain, dt_first)
+            t_faulty = min(t_faulty, dt_second)
+        else:
+            ratios[1].append(dt_first / dt_second)
+            t_plain = min(t_plain, dt_second)
+            t_faulty = min(t_faulty, dt_first)
+    medians = []
+    for side in ratios:
+        side.sort()
+        medians.append(side[len(side) // 2])
+    return ((medians[0] * medians[1]) ** 0.5 - 1.0,
+            t_plain * SWEEP, t_faulty * SWEEP)
+
+
+def test_fault_overhead_smoke(benchmark):
+    plain = build_engine(VirtualFS)
+    faulty = build_engine(lambda: FaultInjectingVFS(seed=0, rate=0.0))
+
+    # Exactness: rate=0 means the hook is pure overhead-free plumbing.
+    res_plain = plain.query(Q1)
+    res_faulty = faulty.query(Q1)
+    assert res_faulty.rows == res_plain.rows
+    assert res_faulty.counters == res_plain.counters
+    assert faulty.clock.now() == plain.clock.now()
+
+    # Best-of-retries: on a quiet machine one measurement suffices;
+    # a CI box under load gets a few chances to produce one clean
+    # reading (noise spikes do not repeat, real overhead does).
+    overhead = float("inf")
+    for _ in range(4):
+        attempt, t_plain, t_faulty = measure_overhead(plain, faulty)
+        overhead = min(overhead, attempt)
+        if overhead < 0.02:
+            break
+
+    header("Fault-tolerance clean-path overhead (warm Q1 sweep)",
+           "rate=0 fault hook must cost < 2% wall clock and 0 virtual "
+           "seconds")
+    table(["vfs", "sweep seconds", "overhead"],
+          [["VirtualFS", t_plain, "-"],
+           ["FaultInjectingVFS(rate=0)", t_faulty,
+            f"{overhead * 100:+.2f}%"]])
+
+    assert overhead < 0.02, (
+        f"clean-path fault hook costs {overhead * 100:.2f}% wall clock "
+        f"(budget 2%)")
+    benchmark.pedantic(lambda: faulty.query(Q1), rounds=3, iterations=5)

@@ -1,0 +1,86 @@
+"""Fault tolerance in situ: error policies, retries, self-healing.
+
+Raw files are not clean: rows go missing a field, values do not parse,
+disks hiccup mid-scan. This demo shows the robustness layer end to end:
+
+* a corrupted CSV scanned under ``on_error 'skip'`` — bad rows are
+  quarantined to the ``__rejects__/`` sidecar and counted in the
+  ``rows_rejected`` counter, good rows flow through untouched;
+* the same file under ``on_error 'null'`` — unparseable values become
+  SQL NULLs instead of dropping the row;
+* a seeded :class:`~repro.storage.faults.FaultInjectingVFS` injecting
+  transient I/O faults that the storage layer retries with bounded
+  backoff billed on the virtual clock (``io_retries`` / ``io_stall``);
+* a query deadline cancelling an overrunning query cooperatively while
+  the session keeps working.
+
+Run:  PYTHONPATH=src python examples/fault_demo.py
+"""
+
+import repro
+from repro.api.exceptions import OperationalError
+from repro.storage.faults import FaultInjectingVFS
+
+DIRTY = (b"1,alice,30\n"
+         b"2,bob,notanint\n"      # unparseable age
+         b"3,carol,41\n"
+         b"corrupted line\n"      # short row
+         b"5,eve,29\n"
+         b"6,frank,52\n")
+
+
+def main() -> None:
+    # A fault-injecting VFS with a seeded schedule of transient faults:
+    # same seed, same faults — chaos, but reproducible chaos.
+    vfs = FaultInjectingVFS(seed=42, rate=0.3)
+    vfs.create("people.csv", DIRTY)
+
+    session = repro.connect(vfs=vfs)
+    cur = session.cursor()
+
+    # -- on_error 'skip': quarantine bad rows --------------------------
+    cur.execute("CREATE TABLE people (id INTEGER, name TEXT, age INTEGER) "
+                "USING csv OPTIONS (path 'people.csv', on_error 'skip')")
+    cur.execute("EXPLAIN SELECT id, age FROM people WHERE age > 25")
+    print("plan (note the on_error row):")
+    for (line,) in cur.fetchall():
+        print("   " + line)
+
+    cur.execute("SELECT id, name, age FROM people WHERE age > 25")
+    rows = cur.fetchall()
+    counters = cur.counters()
+    print("\nrows served despite the corruption:", rows)
+    print("rows_rejected:", counters.get("rows_rejected"))
+    print("quarantine sidecar (__rejects__/people):")
+    for line in vfs.read_bytes("__rejects__/people").decode().splitlines():
+        print("   " + line)
+
+    # -- on_error 'null': keep the row, NULL the value -----------------
+    cur.execute("CREATE TABLE people_n (id INTEGER, name TEXT, age INTEGER) "
+                "USING csv OPTIONS (path 'people.csv', on_error 'null')")
+    cur.execute("SELECT id, age FROM people_n")
+    print("\nunder on_error 'null' every row survives:", cur.fetchall())
+
+    # -- query deadlines ----------------------------------------------
+    vfs.create("big.csv", b"".join(b"%d,%d\n" % (i, i * 3)
+                                   for i in range(20000)))
+    cur.execute("CREATE TABLE big (id INTEGER, v INTEGER) "
+                "USING csv OPTIONS (path 'big.csv')")
+    cur.execute("SELECT id, v FROM big WHERE v > 9", timeout=1e-5)
+    try:
+        cur.fetchall()
+    except OperationalError as exc:
+        print(f"\ndeadline enforced: {exc.code}: {exc}")
+    cur.execute("SELECT count(*) FROM big")
+    print("session still healthy afterwards:", cur.fetchall())
+
+    injected = sum(1 for kind, *_ in vfs.fault_log if kind == "transient")
+    stalls = session.counters().get("io_stall", 0)
+    print(f"\n{injected} transient faults were injected and retried "
+          f"(io_retries={session.counters().get('io_retries', 0):g}, "
+          f"{stalls:.4f} virtual seconds stalled); every query above "
+          "still returned exact answers.")
+
+
+if __name__ == "__main__":
+    main()

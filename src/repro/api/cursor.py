@@ -43,14 +43,22 @@ class Cursor:
         return self._closed or self.session.closed
 
     # -- execution -----------------------------------------------------------
-    def execute(self, operation: Operation, params: Sequence = ()
-                ) -> "Cursor":
+    def execute(self, operation: Operation, params: Sequence = (),
+                timeout: float | None = None) -> "Cursor":
         """Run one statement; returns ``self`` so fetches can chain.
 
         ``operation`` is SQL text (``?`` placeholders bound from
         ``params``; repeated text reuses the session's statement cache)
         or a :class:`PreparedStatement`. Any previous unfinished result
-        on this cursor is abandoned."""
+        on this cursor is abandoned.
+
+        ``timeout`` bounds the query's execution in virtual seconds on
+        the engine clock (defaulting to ``config.query_deadline``; None
+        = unlimited). The scheduler enforces it cooperatively at batch
+        boundaries: an overrunning query fails with
+        ``OperationalError`` (QUERY_TIMEOUT) at the next fetch, its
+        partial cost stays charged to the session ledger, and the
+        session remains usable."""
         self._check_open()
         self._abandon()
         # Detach the old result before anything below can raise, so a
@@ -59,11 +67,13 @@ class Cursor:
         self._job = None
         self._rowcount_override = None
         statement = self._resolve(operation, params)
-        self._job = self.session._start_job(statement, params)
+        self._job = self.session._start_job(statement, params,
+                                            timeout=timeout)
         return self
 
     def executemany(self, operation: Operation,
-                    seq_of_params: Sequence[Sequence]) -> "Cursor":
+                    seq_of_params: Sequence[Sequence],
+                    timeout: float | None = None) -> "Cursor":
         """Execute once per parameter sequence (statement prepared a
         single time). Per DB-API, no result set is kept — each
         execution is drained with its buffer discarded as it streams —
@@ -77,7 +87,8 @@ class Cursor:
                                   param_sets[0] if param_sets else ())
         total = 0
         for params in param_sets:
-            job = self.session._start_job(statement, params)
+            job = self.session._start_job(statement, params,
+                                          timeout=timeout)
             while self.session.scheduler.advance(job):
                 job.buffer.clear()
             job.buffer.clear()

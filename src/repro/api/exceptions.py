@@ -81,10 +81,22 @@ def map_error(exc: BaseException) -> Error:
         return exc
     for internal_cls, api_cls in _ERROR_MAP:
         if isinstance(exc, internal_cls):
-            return api_cls(str(exc))
+            return _carry_context(api_cls(str(exc)), exc)
     if isinstance(exc, ReproError):
-        return DatabaseError(str(exc))
+        return _carry_context(DatabaseError(str(exc)), exc)
     return OperationalError(f"query execution failed: {exc}")
+
+
+def _carry_context(mapped: Error, exc: BaseException) -> Error:
+    """Copy the internal error's stable code and structured context
+    (file path, byte offset, row number, table...) onto the DB-API
+    error, so clients that only catch the mapped class still get the
+    machine-readable details without walking ``__cause__``."""
+    mapped.code = getattr(exc, "code", mapped.code)
+    context = getattr(exc, "context", None)
+    if context:
+        mapped.context = dict(context)
+    return mapped
 
 
 @contextmanager

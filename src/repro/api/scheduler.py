@@ -36,6 +36,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Iterator, Optional
 
+from repro.errors import QueryTimeoutError, annotate
 from repro.sql.batch import ColumnBatch
 from repro.sql.executor import (
     QueryResult,
@@ -60,12 +61,13 @@ class QueryJob:
     __slots__ = ("session", "sql", "planned", "names", "plan", "statement",
                  "state", "buffer", "counters", "elapsed", "rows_produced",
                  "rows_fetched", "peak_buffered", "rows_materialized",
-                 "worker_tasks", "error", "_iterator")
+                 "worker_tasks", "error", "timeout", "deadline", "_iterator")
 
     def __init__(self, session: "Session", sql: str,
                  planned: "PlannedQuery | None",
                  statement: "PreparedStatement | None" = None,
-                 plan: dict | None = None):
+                 plan: dict | None = None,
+                 timeout: float | None = None):
         self.session = session
         self.sql = sql
         self.planned = planned
@@ -89,6 +91,11 @@ class QueryJob:
         #: scans)
         self.worker_tasks = 0
         self.error: Optional[BaseException] = None
+        #: virtual-seconds budget for this query (None = unlimited);
+        #: the absolute deadline is fixed on the engine clock at
+        #: admission, so queueing time does not count against it.
+        self.timeout = timeout
+        self.deadline: float | None = None
         self._iterator: Optional[Iterator[ColumnBatch]] = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -106,6 +113,9 @@ class QueryJob:
 
     def start(self) -> None:
         self._iterator = execute_batches(self.planned)
+        if self.timeout is not None:
+            clock = self.session.engine.clock
+            self.deadline = clock.now() + self.timeout
         self.state = "running"
 
     @property
@@ -206,6 +216,23 @@ class Scheduler:
         (raised to *its* cursor at fetch time), never propagated to
         whichever client happened to be driving the scheduler."""
         clock = self.engine.clock
+        if job.deadline is not None and clock.now() >= job.deadline:
+            # Cooperative cancellation at a batch boundary: the query
+            # never observes the deadline mid-batch. Closing the live
+            # iterator reuses the abandoned-scan cleanup contract
+            # (generator close — partial positional-map/cache state is
+            # kept, worker groups are discarded), and the work already
+            # pulled stays charged to this job's and its session's
+            # ledgers.
+            if job._iterator is not None:
+                job._iterator.close()
+            self._settle(job, "failed", annotate(
+                QueryTimeoutError(
+                    f"query exceeded its deadline of {job.timeout} "
+                    f"virtual seconds ({job.elapsed:.6g}s of engine "
+                    f"work charged)"),
+                timeout=job.timeout))
+            return
         model = self.engine.model
         pool = getattr(self.engine, "scan_pool", None)
         before_seconds = clock.checkpoint()

@@ -322,8 +322,12 @@ class Session:
 
     # -- job plumbing (used by Cursor) ---------------------------------------
     def _start_job(self, statement: "PreparedStatement | DDLStatement",
-                   params: Sequence) -> QueryJob:
+                   params: Sequence,
+                   timeout: float | None = None) -> QueryJob:
         self._check_open()
+        if timeout is None:
+            config = getattr(self.engine, "config", None)
+            timeout = getattr(config, "query_deadline", None)
         if statement.session is not self:
             raise InterfaceError(
                 "prepared statement belongs to a different session")
@@ -349,7 +353,8 @@ class Session:
                 # served by compiled kernels (one unit per scan leaf).
                 self.engine.model.kernel_hit(statement.kernel_scans)
             job = QueryJob(self, statement.sql, statement.planned,
-                           statement=statement, plan=statement.plan)
+                           statement=statement, plan=statement.plan,
+                           timeout=timeout)
             statement._live_jobs.add(job)
             self._jobs.add(job)
             self.scheduler.submit(job)

@@ -169,6 +169,18 @@ class CacheBlock:
             else np.zeros(len(self._mask), dtype=bool)
         return self._data, nulls
 
+    def consistent(self) -> bool:
+        """Internal-geometry invariant: mask, data and (typed) nulls
+        agree on the row count. A block violating this (corrupted in
+        place, or a failed partial mutation) cannot be read safely —
+        the cache treats it as absent and rebuilds from the raw file."""
+        nrows = len(self._mask)
+        if isinstance(self._data, list):
+            return len(self._data) == nrows and self._nulls is None
+        return (self._nulls is not None
+                and len(self._data) == nrows
+                and len(self._nulls) == nrows)
+
     def get(self, row_in_block: int):
         """``(present, value)`` for a row — present=False means a miss."""
         if row_in_block < len(self._mask) and self._mask[row_in_block]:
@@ -280,6 +292,16 @@ class BinaryCache:
         if cache_block is None:
             self.misses += 1
             return None
+        if not cache_block.consistent():
+            # Self-healing: a corrupted block is quarantined (dropped,
+            # counted) and the caller re-converts from the raw file —
+            # the cache is a safe-to-lose accelerator, never a source
+            # of wrong answers or crashes.
+            self._blocks.pop((attr, block))
+            self._bytes -= cache_block.bytes_used
+            self.model.aux_rebuild(1)
+            self.misses += 1
+            return None
         self.hits += 1
         self._blocks.move_to_end((attr, block))
         return cache_block
@@ -288,8 +310,13 @@ class BinaryCache:
         """Side-effect-free probe: like :meth:`get` but without touching
         the hit/miss counters or LRU order. Compiled scan kernels use it
         to test their fast-path preconditions — a bailout must leave the
-        cache byte-identical to a scan that never probed."""
-        return self._blocks.get((attr, block))
+        cache byte-identical to a scan that never probed. A block that
+        fails its consistency check reads as absent (quarantined later
+        by the strict path's :meth:`get`)."""
+        cache_block = self._blocks.get((attr, block))
+        if cache_block is not None and not cache_block.consistent():
+            return None
+        return cache_block
 
     def _block_for(self, attr: int, block: int, rows_in_block: int,
                    family: str) -> CacheBlock:

@@ -36,6 +36,21 @@ def _default_scan_kernels() -> bool:
         "0", "false", "off")
 
 
+def _default_fault_seed() -> int | None:
+    """Default fault-injection seed: the ``REPRO_FAULT_SEED``
+    environment variable (the CI fault leg sets it so the chaos suite
+    and differential modules run against injected I/O faults), else
+    None — no fault injection. Unusable values fall back to None rather
+    than making every config construction raise."""
+    raw = os.environ.get("REPRO_FAULT_SEED", "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
 @dataclass
 class PostgresRawConfig:
     """Tuning knobs for a PostgresRaw engine instance.
@@ -106,6 +121,26 @@ class PostgresRawConfig:
         fold changes priced counters for those queries, and the
         partitioned-vs-single-file cost-parity oracle relies on
         identical charging.
+    fault_seed:
+        When not None, engines constructed without an explicit VFS wrap
+        it in a :class:`~repro.storage.faults.FaultInjectingVFS` seeded
+        here: a deterministic schedule of transient I/O errors and
+        injected latency drives every read through the real retry /
+        degradation machinery. Defaults to ``$REPRO_FAULT_SEED`` when
+        set (the CI fault-injection leg).
+    fault_rate:
+        Probability (per file/block/fault-kind triple, decided by the
+        seeded hash schedule — never by call order) that a fault fires.
+    io_retry_limit / io_retry_backoff:
+        Bounded-retry budget for transient I/O errors: up to
+        ``io_retry_limit`` retries, each stalling the virtual clock by
+        an exponentially growing backoff starting at
+        ``io_retry_backoff`` seconds. Exhausting the budget raises a
+        typed :class:`~repro.errors.IOFaultError`.
+    query_deadline:
+        Default per-query deadline in virtual seconds (None = no
+        deadline), overridable per call via ``cursor.execute(...,
+        timeout=)``. Enforced by the scheduler at batch boundaries.
     """
 
     enable_positional_map: bool = True
@@ -124,6 +159,11 @@ class PostgresRawConfig:
     scan_workers: int = field(default_factory=_default_scan_workers)
     scan_kernels: bool = field(default_factory=_default_scan_kernels)
     enable_zone_aggregates: bool = False
+    fault_seed: int | None = field(default_factory=_default_fault_seed)
+    fault_rate: float = 0.05
+    io_retry_limit: int = 3
+    io_retry_backoff: float = 0.001
+    query_deadline: float | None = None
     dialect: CsvDialect = field(default_factory=lambda: DEFAULT_DIALECT)
 
     def __post_init__(self) -> None:
@@ -139,3 +179,11 @@ class PostgresRawConfig:
             raise BudgetError("cache_budget_bytes must be positive or None")
         if self.stats_sample_target <= 0:
             raise BudgetError("stats_sample_target must be positive")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise BudgetError("fault_rate must be within [0, 1]")
+        if self.io_retry_limit < 0:
+            raise BudgetError("io_retry_limit must be >= 0")
+        if self.io_retry_backoff < 0:
+            raise BudgetError("io_retry_backoff must be >= 0")
+        if self.query_deadline is not None and self.query_deadline <= 0:
+            raise BudgetError("query_deadline must be positive or None")

@@ -31,8 +31,18 @@ class PostgresRaw(Database):
     def __init__(self, config: PostgresRawConfig | None = None,
                  vfs: VirtualFS | None = None,
                  profile: CostProfile = POSTGRES_RAW_PROFILE):
+        config = config if config is not None else PostgresRawConfig()
+        if vfs is None and config.fault_seed is not None:
+            # Fault-injection opt-in (config.fault_seed / the
+            # REPRO_FAULT_SEED CI leg): engines that would build their
+            # own private VFS get the fault-injecting one, so every
+            # costed read runs the retry/degradation machinery. An
+            # explicitly passed VFS is never wrapped — its faultiness
+            # is the caller's decision.
+            from repro.storage.faults import FaultInjectingVFS
+            vfs = FaultInjectingVFS.from_config(config)
         super().__init__(profile, vfs)
-        self.config = config if config is not None else PostgresRawConfig()
+        self.config = config
         self.use_statistics = self.config.enable_statistics
         #: one worker pool per engine (None when scans are serial):
         #: every raw scan fans its streaming row-block groups out here,

@@ -259,11 +259,28 @@ class PositionalMap:
         if not directory:
             del self._directory[block]
 
-    def _load_spilled(self, key: ChunkKey) -> np.ndarray:
+    def _load_spilled(self, key: ChunkKey) -> np.ndarray | None:
+        """Read an evicted chunk back from the VFS — with self-healing:
+        a read failure or geometry mismatch (truncated / corrupted spill
+        file) drops the chunk instead of crashing. The positional map
+        is always a safe-to-lose accelerator (§4.2): callers fall back
+        to re-tokenizing the raw file, so the worst case is degraded
+        performance plus an ``aux_rebuilds`` count, never a wrong
+        answer."""
         path = self._spilled.pop(key)
-        handle = self.spill_vfs.open(path, self.model)
-        raw = handle.read_at(0, handle.size)
         group, _block = key
+        try:
+            handle = self.spill_vfs.open(path, self.model)
+            raw = handle.read_at(0, handle.size)
+            if len(raw) == 0 or len(raw) % (4 * len(group)) != 0:
+                raise StorageError(
+                    f"spilled PM chunk {path!r} has {len(raw)} bytes, "
+                    f"not a whole number of {len(group)}-column int32 "
+                    f"rows")
+        except StorageError:
+            self._forget(key)
+            self.model.aux_rebuild(1)
+            return None
         matrix = np.frombuffer(raw, dtype=np.int32).reshape(-1, len(group))
         self.spill_loads += 1
         self._chunks[key] = matrix

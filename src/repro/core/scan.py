@@ -53,7 +53,13 @@ from repro.core.config import PostgresRawConfig
 from repro.core.positional_map import PositionalMap
 from repro.core.scan_batch import BatchCsvScan
 from repro.core.statistics import StatsCollector
-from repro.errors import CSVFormatError, ExecutionError
+from repro.errors import (
+    CSVFormatError,
+    ExecutionError,
+    FormatError,
+    StorageError,
+    annotate,
+)
 from repro.formats.csvfmt import (
     field_spans_prefix,
     span_backward,
@@ -183,6 +189,14 @@ class RawCsvAccess:
         self.queries_executed = 0
         #: workload knowledge for the §7 idle tuner: attr -> request count
         self.attr_request_counts: dict[int, int] = {}
+        #: per-table error policy (OPTIONS (on_error 'fail'|'skip'|'null'))
+        self.on_error = (getattr(table_info, "options", None)
+                         or {}).get("on_error", "fail")
+        #: quarantine sidecar for rejected rows, plus the row numbers
+        #: already written there (warm re-scans re-reject the same rows
+        #: deterministically; the sidecar records each row once)
+        self._rejects_path = f"__rejects__/{table_info.name.lower()}"
+        self._rejected_rows: set[int] = set()
 
     # ------------------------------------------------------------------
     # External updates (§4.5)
@@ -205,6 +219,11 @@ class RawCsvAccess:
                 self.cache.clear()
             self.row_count = None
             self.table_info.data_version += 1
+            # Row numbers change meaning under a rewrite: restart the
+            # quarantine sidecar along with the other structures.
+            self._rejected_rows.clear()
+            if self.vfs.exists(self._rejects_path):
+                self.vfs.delete(self._rejects_path)
         elif size > self._seen_size:
             if self.pm is not None:
                 self.pm.invalidate_file_length()
@@ -267,18 +286,22 @@ class RawCsvAccess:
              predicate: ScanPredicate | None) -> Iterator[tuple]:
         out_attrs, where_attrs, union_attrs, collector, handle = \
             self._scan_setup(needed, predicate)
-        if self.batch_enabled:
-            scanner = BatchCsvScan(self, out_attrs, where_attrs,
-                                   union_attrs, predicate, collector)
-            for batch in scanner.run(handle):
-                # Batch->tuple transposition for a row-mode consumer:
-                # the one place a batch scan materializes rows.
-                self.model.materialize_rows(batch.nrows)
-                yield from batch.iter_rows()
-        else:
-            yield from self._scan_rows_scalar(
-                handle, out_attrs, where_attrs, union_attrs, predicate,
-                collector)
+        try:
+            if self.batch_enabled:
+                scanner = BatchCsvScan(self, out_attrs, where_attrs,
+                                       union_attrs, predicate, collector)
+                for batch in scanner.run(handle):
+                    # Batch->tuple transposition for a row-mode consumer:
+                    # the one place a batch scan materializes rows.
+                    self.model.materialize_rows(batch.nrows)
+                    yield from batch.iter_rows()
+            else:
+                yield from self._scan_rows_scalar(
+                    handle, out_attrs, where_attrs, union_attrs, predicate,
+                    collector)
+        except (FormatError, StorageError) as exc:
+            raise annotate(exc, path=self.path,
+                           table=self.table_info.name)
         self._finalize_stats(collector)
 
     def scan_batches(self, needed: Sequence[int],
@@ -292,23 +315,27 @@ class RawCsvAccess:
 
         out_attrs, where_attrs, union_attrs, collector, handle = \
             self._scan_setup(needed, predicate)
-        if self.batch_enabled:
-            scanner = BatchCsvScan(self, out_attrs, where_attrs,
-                                   union_attrs, predicate, collector,
-                                   kernel=kernel)
-            yield from scanner.run(handle)
-        else:
-            width = len(out_attrs)
-            pending: list[tuple] = []
-            for row in self._scan_rows_scalar(
-                    handle, out_attrs, where_attrs, union_attrs,
-                    predicate, collector):
-                pending.append(row)
-                if len(pending) >= self.config.row_block_size:
+        try:
+            if self.batch_enabled:
+                scanner = BatchCsvScan(self, out_attrs, where_attrs,
+                                       union_attrs, predicate, collector,
+                                       kernel=kernel)
+                yield from scanner.run(handle)
+            else:
+                width = len(out_attrs)
+                pending: list[tuple] = []
+                for row in self._scan_rows_scalar(
+                        handle, out_attrs, where_attrs, union_attrs,
+                        predicate, collector):
+                    pending.append(row)
+                    if len(pending) >= self.config.row_block_size:
+                        yield ColumnBatch.from_rows(pending, width)
+                        pending = []
+                if pending:
                     yield ColumnBatch.from_rows(pending, width)
-                    pending = []
-            if pending:
-                yield ColumnBatch.from_rows(pending, width)
+        except (FormatError, StorageError) as exc:
+            raise annotate(exc, path=self.path,
+                           table=self.table_info.name)
         self._finalize_stats(collector)
 
     def _scan_rows_scalar(self, handle, out_attrs, where_attrs,
@@ -426,6 +453,9 @@ class RawCsvAccess:
 
         contexts: dict[int, _RowContext] = {}
         qualifying: list[int] = []
+        #: idx -> ready output values for rows salvaged by the tolerant
+        #: path (on_error 'null'); they bypass phase S entirely.
+        tolerant_out: dict[int, list] = {}
 
         for idx in range(nrows):
             model.tuple_overhead(1)
@@ -436,9 +466,25 @@ class RawCsvAccess:
                                              line_bytes, positions)
                 contexts[idx] = context
             if predicate is not None:
-                passed = self._eval_where(
-                    predicate, where_attrs, idx, context, cached_value,
-                    row_values, cache_entries)
+                try:
+                    passed = self._eval_where(
+                        predicate, where_attrs, idx, context, cached_value,
+                        row_values, cache_entries)
+                except CSVFormatError as exc:
+                    if self.on_error == "fail":
+                        raise annotate(exc, row_number=row0 + idx)
+                    line = context.line
+                    self._scrub_row(idx, contexts, cache_entries)
+                    if self.on_error == "skip":
+                        self._quarantine_row(row0 + idx, line, str(exc))
+                        model.rows_rejected(1)
+                        continue
+                    qual, out_values, _ = self.tolerant_row(
+                        model, line, out_attrs, where_attrs, predicate)
+                    if qual:
+                        tolerant_out[idx] = out_values
+                        qualifying.append(idx)
+                    continue
                 if passed is not True:
                     if collector is not None:
                         collector.add_row(row_values)
@@ -450,13 +496,18 @@ class RawCsvAccess:
         # -- phase S: fetch bytes for qualifying rows missing SELECT attrs
         need_file_select = np.zeros(nrows, dtype=bool)
         for idx in qualifying:
-            if idx not in contexts and not row_fully_cached(idx, out_attrs):
+            if (idx not in tolerant_out and idx not in contexts
+                    and not row_fully_cached(idx, out_attrs)):
                 need_file_select[idx] = True
         if need_file_select.any():
             self._read_runs(handle, rows, line_spans, need_file_select,
                             line_bytes)
 
         for idx in qualifying:
+            ready = tolerant_out.get(idx)
+            if ready is not None:
+                yield tuple(ready)
+                continue
             context = contexts.get(idx)
             if context is None and need_file_select[idx]:
                 context = self._make_context(block, idx, rows, line_spans,
@@ -465,16 +516,31 @@ class RawCsvAccess:
             out_values = []
             row_values: dict[int, object] = dict(
                 context.values if context else {})
-            for attr in out_attrs:
-                present, value = cached_value(attr, idx)
-                if present:
+            try:
+                for attr in out_attrs:
+                    present, value = cached_value(attr, idx)
+                    if present:
+                        out_values.append(value)
+                        row_values[attr] = value
+                        continue
+                    value = context.value(attr)
                     out_values.append(value)
                     row_values[attr] = value
+                    cache_entries[attr].append((idx, value))
+            except CSVFormatError as exc:
+                if self.on_error == "fail":
+                    raise annotate(exc, row_number=row0 + idx)
+                line = context.line
+                self._scrub_row(idx, contexts, cache_entries)
+                if self.on_error == "skip":
+                    self._quarantine_row(row0 + idx, line, str(exc))
+                    model.rows_rejected(1)
                     continue
-                value = context.value(attr)
-                out_values.append(value)
-                row_values[attr] = value
-                cache_entries[attr].append((idx, value))
+                qual, out_values, _ = self.tolerant_row(
+                    model, line, out_attrs, where_attrs, predicate)
+                if qual:
+                    yield tuple(out_values)
+                continue
             model.tuple_form(len(out_attrs))
             if collector is not None:
                 collector.add_row(row_values)
@@ -504,6 +570,16 @@ class RawCsvAccess:
             row_values[attr] = value
         self.model.predicate(predicate.n_terms)
         return predicate.fn(values)
+
+    def _scrub_row(self, idx, contexts, cache_entries) -> None:
+        """Withdraw a failed row from the block's staged auxiliary
+        updates: its cache entries are dropped and its context removed
+        so no positions parsed out of a malformed line reach the
+        positional map (degradation, never corruption)."""
+        contexts.pop(idx, None)
+        for entries in cache_entries.values():
+            if any(entry[0] == idx for entry in entries):
+                entries[:] = [e for e in entries if e[0] != idx]
 
     def _make_context(self, block, idx, rows, line_spans, line_bytes,
                       positions) -> _RowContext:
@@ -694,6 +770,34 @@ class RawCsvAccess:
     def _process_streamed_row(self, row, block, line, out_attrs,
                               where_attrs, predicate, collector,
                               cache_entries, block_positions, max_attr):
+        try:
+            return self._process_streamed_row_strict(
+                row, block, line, out_attrs, where_attrs, predicate,
+                collector, cache_entries, block_positions, max_attr)
+        except CSVFormatError as exc:
+            if self.on_error == "fail":
+                raise annotate(exc, row_number=row)
+            # Withdraw the row's staged cache entries (positions are
+            # only recorded on success, so there is nothing to undo
+            # there); the tolerant redo feeds neither stats nor the
+            # auxiliary structures.
+            row_in_block = row - block * self.config.row_block_size
+            for entries in cache_entries.values():
+                if any(entry[0] == row_in_block for entry in entries):
+                    entries[:] = [e for e in entries
+                                  if e[0] != row_in_block]
+            if self.on_error == "skip":
+                self._quarantine_row(row, line, str(exc))
+                self.model.rows_rejected(1)
+                return None
+            qual, out_values, _ = self.tolerant_row(
+                self.model, line, out_attrs, where_attrs, predicate)
+            return tuple(out_values) if qual else None
+
+    def _process_streamed_row_strict(self, row, block, line, out_attrs,
+                                     where_attrs, predicate, collector,
+                                     cache_entries, block_positions,
+                                     max_attr):
         model = self.model
         model.tuple_overhead(1)
         context = _RowContext(self, line, 0, {0: 0})
@@ -761,16 +865,106 @@ class RawCsvAccess:
         self.pm.insert_chunk(tuple(attrs), block, matrix)
 
     # ------------------------------------------------------------------
-    def _convert(self, attr: int, text: str):
+    def _convert(self, attr: int, text: str, model: CostModel | None = None):
         """Convert raw text to the attribute's binary value, charging the
         family-specific conversion cost (the paper's dominant CPU cost)."""
         family = self._families[attr]
-        self.model.convert(family, 1)
+        (model if model is not None else self.model).convert(family, 1)
         if text == "" and family != "str":
             return None
         try:
             return self._dtypes[attr].parse(text)
         except Exception as exc:
-            raise CSVFormatError(
-                f"cannot parse {text!r} as {self._dtypes[attr].name} "
-                f"(attribute {self.schema.columns[attr].name})") from exc
+            raise annotate(
+                CSVFormatError(
+                    f"cannot parse {text!r} as {self._dtypes[attr].name} "
+                    f"(attribute {self.schema.columns[attr].name})"),
+                column=self.schema.columns[attr].name) from exc
+
+    # ------------------------------------------------------------------
+    # Error policies (OPTIONS (on_error ...)): tolerant row evaluation
+    # ------------------------------------------------------------------
+    def tolerant_row(self, model: CostModel, line: bytes, out_attrs,
+                     where_attrs, predicate):
+        """Best-effort evaluation of one malformed-or-suspect row under a
+        tolerant error policy (``on_error 'skip'`` or ``'null'``).
+
+        The strict scan paths fall back here after a row raises
+        :class:`CSVFormatError`: the whole line is re-tokenized with a
+        plain delimiter split (degradation, not the selective §4.1
+        machinery — malformed lines forfeit positional-map and cache
+        participation) and each *touched* value is converted
+        individually. Under ``'null'`` an unconvertible or missing value
+        becomes SQL NULL and the row stays; under ``'skip'`` it rejects
+        the whole row. Returns ``(qualifies, out_values | None,
+        reject_reason | None)`` — a non-None reason means the caller
+        must quarantine the row. All charges go to ``model`` so staged
+        (recorded) redo and direct redo price identically.
+        """
+        policy = self.on_error
+        model.tokenize(len(line))
+        fields = line.decode("utf-8", "replace").split(
+            self.dialect.delimiter.decode("utf-8"))
+        values: dict[int, object] = {}
+
+        def fetch(attr):
+            # -> (ok, value); not ok == row rejected (policy 'skip')
+            if attr in values:
+                return True, values[attr]
+            if attr >= len(fields):
+                if policy == "skip":
+                    return False, None
+                values[attr] = None
+                return True, None
+            try:
+                value = self._convert(attr, fields[attr], model=model)
+            except CSVFormatError:
+                if policy == "skip":
+                    return False, None
+                value = None
+            values[attr] = value
+            return True, value
+
+        def reason(attr):
+            name = self.schema.columns[attr].name
+            if attr >= len(fields):
+                return (f"short row: {len(fields)} attributes, "
+                        f"attribute {name} missing")
+            return (f"cannot parse {fields[attr]!r} as "
+                    f"{self._dtypes[attr].name} (attribute {name})")
+
+        if predicate is not None:
+            pvalues = {}
+            for attr in where_attrs:
+                ok, value = fetch(attr)
+                if not ok:
+                    return False, None, reason(attr)
+                pvalues[attr] = value
+            model.predicate(predicate.n_terms)
+            if predicate.fn(pvalues) is not True:
+                return False, None, None
+        out_values = []
+        for attr in out_attrs:
+            ok, value = fetch(attr)
+            if not ok:
+                return False, None, reason(attr)
+            out_values.append(value)
+        model.tuple_form(len(out_attrs))
+        return True, out_values, None
+
+    def _quarantine_row(self, row_number: int, line: bytes,
+                        reason: str) -> None:
+        """Record a rejected row in the table's ``__rejects__/`` sidecar
+        (free of virtual time — observability, like the counters). The
+        caller charges ``rows_rejected``; this only persists the row,
+        once per row number per file version."""
+        if row_number in self._rejected_rows:
+            return
+        self._rejected_rows.add(row_number)
+        note = reason.replace("\t", " ").replace("\n", " ")
+        record = b"%d\t%s\t%s\n" % (
+            row_number, note.encode("utf-8", "replace"),
+            bytes(line).replace(b"\n", b" "))
+        if not self.vfs.exists(self._rejects_path):
+            self.vfs.create(self._rejects_path)
+        self.vfs.append_bytes(self._rejects_path, record)

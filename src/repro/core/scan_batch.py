@@ -56,7 +56,7 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.errors import CSVFormatError, ExecutionError
+from repro.errors import CSVFormatError, ExecutionError, annotate
 from repro.formats.csvfmt import (
     BlockTokenizer,
     block_field_spans,
@@ -84,6 +84,17 @@ KERNEL_BAILOUT = _KernelBailout()
 
 _NO = -1  # unknown position sentinel (absolute-offset arrays)
 _NO_POS = -1  # sentinel used inside PM chunks (relative offsets)
+
+
+def _with_row_number(exc: CSVFormatError, row0: int) -> CSVFormatError:
+    """Resolve a block-relative ``row_in_block`` annotation (from the
+    vectorized tokenizer, which never sees absolute rows) into the
+    absolute ``row_number`` — setdefault semantics, the innermost
+    annotation wins."""
+    row_in_block = exc.context.get("row_in_block")
+    if row_in_block is not None:
+        annotate(exc, row_number=row0 + row_in_block)
+    return exc
 
 #: families whose text form NumPy can parse column-wise via ``astype``
 _NUMERIC_DTYPES = {"int": np.int64, "float": np.float64}
@@ -269,10 +280,12 @@ class BatchCsvScan:
             try:
                 values.append(parse(text))
             except Exception as exc:
-                raise CSVFormatError(
-                    f"cannot parse {text!r} as {self._dtypes[attr].name} "
-                    f"(attribute {self.schema.columns[attr].name})"
-                ) from exc
+                raise annotate(
+                    CSVFormatError(
+                        f"cannot parse {text!r} as "
+                        f"{self._dtypes[attr].name} (attribute "
+                        f"{self.schema.columns[attr].name})"),
+                    column=self.schema.columns[attr].name) from exc
         return values, None
 
     @staticmethod
@@ -337,6 +350,19 @@ class BatchCsvScan:
             # the generic path below charges exactly what a kernel-less
             # scan would. The bailout event itself is zero-priced.
             self.model.kernel_bailout()
+        try:
+            return self._indexed_block_strict(handle, block, row0, row1)
+        except CSVFormatError as exc:
+            if self.access.on_error == "fail":
+                raise _with_row_number(exc, row0)
+            # The strict attempt flushed nothing (PM/cache writes happen
+            # only at the end of a clean block) and the indexed region
+            # always runs on the driver thread, so its partial charges
+            # stay on the clock deterministically; redo row by row.
+            return self._indexed_block_tolerant(handle, block, row0, row1)
+
+    def _indexed_block_strict(self, handle, block: int, row0: int,
+                              row1: int) -> ColumnBatch | None:
         model = self.model
         n = row1 - row0
         union_attrs = self.union_attrs
@@ -468,6 +494,41 @@ class BatchCsvScan:
         if nqual == 0 and out_attrs:
             return ColumnBatch([[] for _ in out_attrs], 0)
         return ColumnBatch(out_columns, nqual, out_nulls)
+
+    def _indexed_block_tolerant(self, handle, block: int, row0: int,
+                                row1: int) -> ColumnBatch:
+        """Row-at-a-time redo of an indexed block after the strict
+        vectorized path raised under a tolerant error policy. Reads the
+        block's byte span in one shot (mostly warm — the strict attempt
+        already touched it), evaluates each row with
+        :meth:`RawCsvAccess.tolerant_row` and quarantines rejects
+        directly (the indexed region runs on the driver thread only).
+        The block forfeits its positional-map / cache / statistics
+        contributions: degradation, never corruption."""
+        access = self.access
+        model = self.model
+        spans = self.pm.line_spans_block(row0, row1)
+        if spans is None:
+            raise ExecutionError(
+                f"line spans for rows {row0}..{row1} vanished from the "
+                "positional map mid-scan (table dropped or map torn "
+                "down under a live query); re-run the query")
+        starts, ends = spans
+        base = int(starts[0])
+        blob = handle.read_at(base, int(ends[-1]) - base)
+        out_attrs = self.out_attrs
+        rows: list[tuple] = []
+        for i in range(row1 - row0):
+            line = blob[int(starts[i]) - base:int(ends[i]) - base]
+            qual, out_values, reason = access.tolerant_row(
+                model, line, out_attrs, self.where_attrs, self.predicate)
+            if reason is not None:
+                access._quarantine_row(row0 + i, line, reason)
+                model.rows_rejected(1)
+                continue
+            if qual:
+                rows.append(tuple(out_values))
+        return ColumnBatch.from_rows(rows, len(out_attrs))
 
     @staticmethod
     def _output_column(column: _Column, qual_idx: np.ndarray):
@@ -885,6 +946,22 @@ class BatchCsvScan:
                                                    starts, ends, buffer,
                                                    buffer_base)
             return recorder.ops, batch, None
+        except CSVFormatError as exc:
+            if self.access.on_error == "fail":
+                return recorder.ops, None, _with_row_number(exc, row0)
+            # Tolerant policy: discard the strict attempt's op log
+            # entirely (its charges must not replay — the redo prices
+            # the whole group itself, so serial and parallel runs stay
+            # bit-identical) and recompute the group row by row.
+            redo = RecordingModel()
+            view = copy.copy(self)
+            view.model = redo
+            try:
+                batch = view._compute_stream_group_tolerant(
+                    redo.ops, row0, starts, ends, buffer, buffer_base)
+                return redo.ops, batch, None
+            except Exception as redo_exc:
+                return redo.ops, None, redo_exc
         except Exception as exc:  # replayed + re-raised by the merge
             return recorder.ops, None, exc
 
@@ -915,6 +992,11 @@ class BatchCsvScan:
                     collector.add_row(row_values)
             elif tag == "pm":
                 self._merge_stream_positions(op[1], op[2], op[3])
+            elif tag == "rej":
+                # Quarantine decided inside a worker group: the sidecar
+                # write happens here, in canonical merge order (the
+                # rows_rejected charge replays as an ordinary "c" op).
+                self.access._quarantine_row(op[1], op[2], op[3])
             else:  # "cache"
                 _, attr, block, rows_in_block, idx, values, typed, \
                     family = op
@@ -1087,6 +1169,46 @@ class BatchCsvScan:
         if nqual == 0 and out_attrs:
             return ColumnBatch([[] for _ in out_attrs], 0)
         return ColumnBatch(out_columns, nqual, out_nulls)
+
+    def _compute_stream_group_tolerant(self, ops: list, row0: int,
+                                       starts: np.ndarray,
+                                       ends: np.ndarray, buffer: bytes,
+                                       buffer_base: int,
+                                       ) -> ColumnBatch | None:
+        """Row-at-a-time redo of a streaming group whose strict
+        vectorized computation raised, under a tolerant error policy
+        (``on_error 'skip'`` or ``'null'``).
+
+        Each line is re-evaluated with :meth:`RawCsvAccess.
+        tolerant_row`; rejects are staged as ``("rej", row, line,
+        reason)`` ops so the sidecar write happens at the merge, in
+        canonical order. The group still stages its line starts (the
+        line *index* is byte geometry, unaffected by malformed fields)
+        but contributes nothing to the positional map, the cache or the
+        statistics reservoirs — a malformed group degrades, it never
+        corrupts the auxiliary structures. Like the strict compute,
+        this is a pure function of the byte slice, so results and
+        op logs are identical at any worker count."""
+        access = self.access
+        model = self.model
+        n = len(starts)
+        model.tuple_overhead(n)
+        if self.pm is not None:
+            ops.append(("lines", starts, row0, n))
+        out_attrs = self.out_attrs
+        rows: list[tuple] = []
+        for i in range(n):
+            line = buffer[int(starts[i]) - buffer_base:
+                          int(ends[i]) - buffer_base]
+            qual, out_values, reason = access.tolerant_row(
+                model, line, out_attrs, self.where_attrs, self.predicate)
+            if reason is not None:
+                ops.append(("rej", row0 + i, line, reason))
+                model.rows_rejected(1)
+                continue
+            if qual:
+                rows.append(tuple(out_values))
+        return ColumnBatch.from_rows(rows, len(out_attrs))
 
     def _charge_stream_tokenize(self, tok: BlockTokenizer, charges,
                                 line_starts: np.ndarray,

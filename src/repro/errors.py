@@ -3,21 +3,62 @@
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class. Subclasses are grouped by the
 subsystem that raises them (SQL front end, catalog, storage, formats).
+
+Structured failure reporting: every class carries a stable ``code``
+(machine-readable, never derived from the message text) and every
+instance a ``context`` dict. Raise sites that know where a failure
+happened attach what they know — file path, byte offset, row number,
+table name — via :func:`annotate`; outer layers (the scan chokepoints)
+fill in the coarser keys without overwriting the inner, more precise
+ones. Error policies and server front ends can therefore react to
+failures without parsing message strings, while ``str(exc)`` stays
+exactly the human-facing message it always was.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``code`` is a stable machine-readable identifier for the failure
+    class; ``context`` holds structured details (``path``, ``table``,
+    ``row_number``, ``byte_offset``, ...) attached via
+    :func:`annotate`. Neither affects ``str(exc)``.
+    """
+
+    code = "REPRO_ERROR"
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.context: dict = {}
+
+
+def annotate(exc: ReproError, **context) -> ReproError:
+    """Attach structured context to ``exc`` and return it.
+
+    Keys already present are kept — the innermost raise site knows the
+    most (exact byte offset, row number); outer chokepoints only fill
+    in what is still missing (file path, table name). Safe to call on
+    errors that predate the ``context`` attribute."""
+    existing = getattr(exc, "context", None)
+    if existing is None:
+        existing = exc.context = {}
+    for key, value in context.items():
+        existing.setdefault(key, value)
+    return exc
 
 
 class SQLError(ReproError):
     """Base class for errors in the SQL front end."""
 
+    code = "SQL"
+
 
 class LexerError(SQLError):
     """Raised when the SQL lexer meets a character it cannot tokenize."""
+
+    code = "SQL_LEX"
 
     def __init__(self, message: str, position: int | None = None):
         super().__init__(message)
@@ -26,6 +67,8 @@ class LexerError(SQLError):
 
 class ParseError(SQLError):
     """Raised when the SQL parser meets an unexpected token."""
+
+    code = "SQL_PARSE"
 
     def __init__(self, message: str, token: object | None = None):
         super().__init__(message)
@@ -39,9 +82,13 @@ class PlanningError(SQLError):
     constructs, or ambiguous column names across joined tables.
     """
 
+    code = "SQL_PLAN"
+
 
 class CatalogError(ReproError):
     """Raised for catalog-level problems (duplicate/unknown tables)."""
+
+    code = "CATALOG"
 
 
 class TypeError_(ReproError):
@@ -50,45 +97,103 @@ class TypeError_(ReproError):
     Named with a trailing underscore to avoid shadowing the builtin.
     """
 
+    code = "TYPE"
+
 
 class StorageError(ReproError):
     """Base class for storage-layer errors (pages, heap files, VFS)."""
+
+    code = "STORAGE"
 
 
 class FileNotFoundInVFS(StorageError):
     """Raised when a virtual file path does not exist."""
 
+    code = "STORAGE_NOT_FOUND"
+
 
 class PageFormatError(StorageError):
     """Raised when a slotted page is malformed or a slot is out of range."""
+
+    code = "STORAGE_PAGE"
+
+
+class TransientIOError(StorageError):
+    """A retryable I/O failure (injected or modeled). The storage layer
+    retries these with bounded backoff; one escaping to a caller means
+    the retry budget is disabled."""
+
+    code = "IO_TRANSIENT"
+
+
+class IOFaultError(StorageError):
+    """A non-transient I/O failure: the bounded retry loop exhausted its
+    budget (or the fault schedule marked the region permanently bad).
+    Carries ``path``/``byte_offset`` context for the failing read."""
+
+    code = "IO_FAULT"
+
+
+class AuxiliaryIntegrityError(StorageError):
+    """An auxiliary structure (positional-map spill chunk, binary-cache
+    block, ``__zones__/`` sidecar) failed an integrity check. These are
+    quarantined and rebuilt from the raw file — an instance escaping to
+    a caller is a bug, since auxiliary state is always rebuildable."""
+
+    code = "AUX_INTEGRITY"
 
 
 class FormatError(ReproError):
     """Base class for raw-file format errors (CSV, FITS)."""
 
+    code = "FORMAT"
+
 
 class CSVFormatError(FormatError):
     """Raised when a CSV row cannot be tokenized against the schema."""
 
+    code = "CSV_FORMAT"
+
     def __init__(self, message: str, row_number: int | None = None):
         super().__init__(message)
         self.row_number = row_number
+        if row_number is not None:
+            self.context.setdefault("row_number", row_number)
 
 
 class FITSFormatError(FormatError):
     """Raised when a FITS file or header is malformed."""
 
+    code = "FITS_FORMAT"
+
 
 class JSONLFormatError(FormatError):
     """Raised when a JSON-Lines row cannot be tokenized."""
 
+    code = "JSONL_FORMAT"
+
     def __init__(self, message: str, row_number: int | None = None):
         super().__init__(message)
         self.row_number = row_number
+        if row_number is not None:
+            self.context.setdefault("row_number", row_number)
 
 
 class ExecutionError(ReproError):
     """Raised when a query plan fails during execution."""
+
+    code = "EXECUTION"
+
+
+class QueryTimeoutError(ExecutionError):
+    """Raised when a query exceeds its deadline (``cursor.execute(...,
+    timeout=)`` or ``config.query_deadline``, in virtual seconds). The
+    scheduler enforces deadlines at batch boundaries: the job's live
+    iterator is closed through the abandoned-scan cleanup contract, so
+    partial positional-map / cache state stays consistent and the
+    partial cost is already charged to the session ledger."""
+
+    code = "QUERY_TIMEOUT"
 
 
 class UnknownColumnError(ReproError, ValueError):
@@ -97,6 +202,8 @@ class UnknownColumnError(ReproError, ValueError):
     message can point at the fix. Also a :class:`ValueError`, which the
     bare ``list.index`` used to raise, so existing handlers keep
     working."""
+
+    code = "UNKNOWN_COLUMN"
 
     def __init__(self, name: str, available: list[str]):
         listing = ", ".join(available) if available else "(none)"
@@ -110,6 +217,10 @@ class BindError(ReproError):
     """Raised when statement parameters cannot be bound (wrong count,
     or execution reached an unbound ``?`` placeholder)."""
 
+    code = "BIND"
+
 
 class BudgetError(ReproError):
     """Raised when a component is configured with an unusable budget."""
+
+    code = "BUDGET"

@@ -32,7 +32,7 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.errors import CSVFormatError
+from repro.errors import CSVFormatError, annotate
 from repro.storage.vfs import VirtualFile
 
 NEWLINE = 0x0A  # b"\n"
@@ -245,9 +245,11 @@ def block_field_spans(tok: BlockTokenizer, line_starts: np.ndarray,
         if j < upto:
             if not is_delim.all():
                 short = int(np.flatnonzero(~is_delim)[0])
-                raise CSVFormatError(
-                    f"line has {j + 1} attributes, need {upto + 1} "
-                    f"(row {short} of block)")
+                raise annotate(
+                    CSVFormatError(
+                        f"line has {j + 1} attributes, need {upto + 1} "
+                        f"(row {short} of block)"),
+                    row_in_block=short)
             starts[:, j + 1] = bounds + 1
     scanned = np.minimum(ends[:, upto] + 1, line_ends) - line_starts
     return starts, ends, scanned

@@ -38,10 +38,21 @@ from collections import deque
 from concurrent.futures import CancelledError
 
 from repro.core.scan_batch import KERNEL_BAILOUT
-from repro.errors import CatalogError, ExecutionError, JSONLFormatError
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    FormatError,
+    JSONLFormatError,
+    StorageError,
+    annotate,
+)
 from repro.simcost.model import RecordingModel
 from repro.formats.csvfmt import newline_offsets
-from repro.formats.registry import FormatAdapter, register_format
+from repro.formats.registry import (
+    FormatAdapter,
+    register_format,
+    validate_on_error,
+)
 from repro.sql.scanapi import ScanPredicate
 from repro.sql.stats import TableStats
 
@@ -231,6 +242,11 @@ class JsonlAccess:
         self._seen_rewrites: int | None = None
         self.queries_executed = 0
         self.attr_request_counts: dict[int, int] = {}
+        #: per-table error policy (OPTIONS (on_error 'fail'|'skip'|'null'))
+        self.on_error = (getattr(table_info, "options", None)
+                         or {}).get("on_error", "fail")
+        self._rejects_path = f"__rejects__/{table_info.name.lower()}"
+        self._rejected_rows: set[int] = set()
 
     #: batch delivery is the only mode (``ScanOp.supports_batches``)
     batch_enabled = True
@@ -250,6 +266,9 @@ class JsonlAccess:
                 self.cache.clear()
             self.row_count = None
             self.table_info.data_version += 1
+            self._rejected_rows.clear()
+            if self.vfs.exists(self._rejects_path):
+                self.vfs.delete(self._rejects_path)
         elif size > self._seen_size:
             if self.pm is not None:
                 self.pm.invalidate_file_length()
@@ -283,13 +302,17 @@ class JsonlAccess:
         # concurrent cursor may grow the map while this generator
         # lives — same contract as the CSV scan).
         spanned = self._rows_with_known_span()
-        yield from self._indexed_region(handle, spanned, out_attrs,
-                                        where_attrs, union_attrs,
-                                        predicate, collector,
-                                        kernel=kernel)
-        yield from self._streaming_region(handle, spanned, out_attrs,
-                                          where_attrs, union_attrs,
-                                          predicate, collector)
+        try:
+            yield from self._indexed_region(handle, spanned, out_attrs,
+                                            where_attrs, union_attrs,
+                                            predicate, collector,
+                                            kernel=kernel)
+            yield from self._streaming_region(handle, spanned, out_attrs,
+                                              where_attrs, union_attrs,
+                                              predicate, collector)
+        except (FormatError, StorageError) as exc:
+            raise annotate(exc, path=self.path,
+                           table=self.table_info.name)
         if collector is not None:
             stats = self.table_info.stats or TableStats()
             row_count = (self.row_count if self.row_count is not None
@@ -327,10 +350,11 @@ class JsonlAccess:
         return known - 1
 
     # -- value conversion ----------------------------------------------
-    def _convert(self, attr: int, token: bytes | None):
+    def _convert(self, attr: int, token: bytes | None, model=None):
         """JSON value token -> binary value, charging the family's
         conversion cost (missing member / ``null`` -> SQL NULL)."""
-        self.model.convert(self._families[attr], 1)
+        (model if model is not None else self.model).convert(
+            self._families[attr], 1)
         return self._convert_value(attr, token)
 
     def _convert_value(self, attr: int, token: bytes | None):
@@ -352,7 +376,14 @@ class JsonlAccess:
             return text if isinstance(text, str) else str(text)
         if text == "":
             return None
-        return self._dtypes[attr].parse(str(text))
+        try:
+            return self._dtypes[attr].parse(str(text))
+        except Exception as exc:
+            raise annotate(
+                JSONLFormatError(
+                    f"cannot parse {text!r} as {self._dtypes[attr].name} "
+                    f"(attribute {self.schema.columns[attr].name})"),
+                column=self.schema.columns[attr].name) from exc
 
     def _convert_many(self, attr: int,
                       pairs: list) -> list:
@@ -404,6 +435,78 @@ class JsonlAccess:
             values[idx] = self._convert_value(attr, token)
         return [(idx, values[idx]) for idx, _ in pairs]
 
+    # -- error policies (OPTIONS (on_error ...)) ------------------------
+    def tolerant_row(self, model, line: bytes, out_attrs, where_attrs,
+                     predicate):
+        """Best-effort evaluation of one malformed-or-suspect line under
+        a tolerant error policy — the JSONL twin of
+        :meth:`~repro.core.scan.RawCsvAccess.tolerant_row`. The line is
+        fully tokenized (a structurally broken line yields no spans);
+        a missing member is ordinary NULL, but an unparseable *value*
+        becomes NULL under ``'null'`` and rejects the row under
+        ``'skip'``. Returns ``(qualifies, out_values | None,
+        reject_reason | None)``; all charges go to ``model``."""
+        policy = self.on_error
+        model.tokenize(len(line))
+        try:
+            spans, _ = member_spans(line)
+        except JSONLFormatError as exc:
+            if policy == "skip":
+                return False, None, str(exc)
+            spans = {}
+        values: dict[int, object] = {}
+        errors: dict[int, str] = {}
+
+        def fetch(attr):
+            # -> (ok, value); not ok == row rejected (policy 'skip')
+            if attr in values:
+                return True, values[attr]
+            span = spans.get(self.keys[attr])
+            token = None if span is None else line[span[0]:span[1]]
+            try:
+                value = self._convert(attr, token, model=model)
+            except FormatError as exc:
+                if policy == "skip":
+                    errors[attr] = str(exc)
+                    return False, None
+                value = None
+            values[attr] = value
+            return True, value
+
+        if predicate is not None:
+            pvalues = {}
+            for attr in where_attrs:
+                ok, value = fetch(attr)
+                if not ok:
+                    return False, None, errors[attr]
+                pvalues[attr] = value
+            model.predicate(predicate.n_terms)
+            if predicate.fn(pvalues) is not True:
+                return False, None, None
+        out_values = []
+        for attr in out_attrs:
+            ok, value = fetch(attr)
+            if not ok:
+                return False, None, errors[attr]
+            out_values.append(value)
+        model.tuple_form(len(out_attrs))
+        return True, out_values, None
+
+    def _quarantine_row(self, row_number: int, line: bytes,
+                        reason: str) -> None:
+        """Record a rejected line in the ``__rejects__/`` sidecar (free
+        of virtual time; the caller charges ``rows_rejected``)."""
+        if row_number in self._rejected_rows:
+            return
+        self._rejected_rows.add(row_number)
+        note = reason.replace("\t", " ").replace("\n", " ")
+        record = b"%d\t%s\t%s\n" % (
+            row_number, note.encode("utf-8", "replace"),
+            bytes(line).replace(b"\n", b" "))
+        if not self.vfs.exists(self._rejects_path):
+            self.vfs.create(self._rejects_path)
+        self.vfs.append_bytes(self._rejects_path, record)
+
     # ==================================================================
     # Indexed region: line spans known to the map
     # ==================================================================
@@ -434,6 +537,55 @@ class JsonlAccess:
 
     def _process_block(self, handle, block, row0, row1, out_attrs,
                        where_attrs, union_attrs, predicate, collector):
+        try:
+            return self._process_block_strict(
+                handle, block, row0, row1, out_attrs, where_attrs,
+                union_attrs, predicate, collector)
+        except JSONLFormatError:
+            if self.on_error == "fail":
+                raise
+            # Strict attempt flushed nothing (PM/cache writes happen at
+            # the end of a clean block) and the indexed region runs on
+            # the driver thread only: redo row by row, tolerantly.
+            return self._process_block_tolerant(handle, row0, row1,
+                                                out_attrs, where_attrs,
+                                                predicate)
+
+    def _process_block_tolerant(self, handle, row0, row1, out_attrs,
+                                where_attrs, predicate):
+        """Row-at-a-time redo of an indexed block under a tolerant
+        policy: one read over the block's span, per-row
+        :meth:`tolerant_row`, direct quarantine. The block forfeits its
+        PM/cache/stats contributions — degradation, never
+        corruption."""
+        from repro.sql.batch import ColumnBatch
+
+        model = self.model
+        spans = self.pm.line_spans_block(row0, row1)
+        if spans is None:
+            raise ExecutionError(
+                f"line spans for rows {row0}..{row1} vanished from the "
+                "positional map mid-scan (table dropped or map torn "
+                "down under a live query); re-run the query")
+        starts, ends = spans
+        base = int(starts[0])
+        blob = handle.read_at(base, int(ends[-1]) - base)
+        rows: list[tuple] = []
+        for i in range(row1 - row0):
+            line = blob[int(starts[i]) - base:int(ends[i]) - base]
+            qual, out_values, reason = self.tolerant_row(
+                model, line, out_attrs, where_attrs, predicate)
+            if reason is not None:
+                self._quarantine_row(row0 + i, line, reason)
+                model.rows_rejected(1)
+                continue
+            if qual:
+                rows.append(tuple(out_values))
+        return ColumnBatch.from_rows(rows, len(out_attrs))
+
+    def _process_block_strict(self, handle, block, row0, row1, out_attrs,
+                              where_attrs, union_attrs, predicate,
+                              collector):
         from repro.sql.batch import ColumnBatch
 
         model = self.model
@@ -867,6 +1019,23 @@ class JsonlAccess:
                 out_attrs, where_attrs, union_attrs, predicate,
                 collector)
             return recorder.ops, batch, None
+        except JSONLFormatError as exc:
+            if self.on_error == "fail":
+                return recorder.ops, None, exc
+            # Tolerant policy: discard the strict attempt's op log
+            # entirely and recompute the group row by row (a pure
+            # function of the byte slice — bit-identical at any
+            # worker count).
+            redo = RecordingModel()
+            view = copy.copy(self)
+            view.model = redo
+            try:
+                batch = view._compute_stream_group_tolerant(
+                    redo.ops, row0, spans, buffer, buffer_base,
+                    out_attrs, where_attrs, predicate)
+                return redo.ops, batch, None
+            except Exception as redo_exc:
+                return redo.ops, None, redo_exc
         except Exception as exc:   # replayed + re-raised by the merge
             return recorder.ops, None, exc
 
@@ -900,6 +1069,10 @@ class JsonlAccess:
                 self._flush_positions(block, n, dict(enumerate(views)),
                                       union_attrs, existing,
                                       first_in_block=first_in_block)
+            elif tag == "rej":
+                # Quarantine decided inside a worker group: the sidecar
+                # write happens here, in canonical merge order.
+                self._quarantine_row(op[1], op[2], op[3])
             else:  # "jcache"
                 _, attr, block, rows_in_block, entries, family = op
                 self.cache.put(attr, block, rows_in_block, entries,
@@ -984,6 +1157,37 @@ class JsonlAccess:
         out_columns = [columns[attr][qual_idx] for attr in out_attrs]
         return ColumnBatch(out_columns, len(qual_idx))
 
+    def _compute_stream_group_tolerant(self, ops, row0, spans, buffer,
+                                       buffer_base, out_attrs,
+                                       where_attrs, predicate):
+        """Row-at-a-time redo of a streaming group whose strict
+        computation raised, under a tolerant error policy. Line starts
+        are still staged (byte geometry is unaffected by malformed
+        content); rejects are staged as ``("rej", ...)`` ops so the
+        sidecar write happens at the merge, in canonical order. The
+        group contributes nothing to the positional map, cache or
+        statistics."""
+        from repro.sql.batch import ColumnBatch
+
+        model = self.model
+        n = len(spans)
+        model.tuple_overhead(n)
+        if self.pm is not None:
+            starts = np.asarray([s for s, _e in spans], dtype=np.int64)
+            ops.append(("lines", starts, row0, n))
+        rows: list[tuple] = []
+        for i, (s, e) in enumerate(spans):
+            line = buffer[s - buffer_base:e - buffer_base]
+            qual, out_values, reason = self.tolerant_row(
+                model, line, out_attrs, where_attrs, predicate)
+            if reason is not None:
+                ops.append(("rej", row0 + i, line, reason))
+                model.rows_rejected(1)
+                continue
+            if qual:
+                rows.append(tuple(out_values))
+        return ColumnBatch.from_rows(rows, len(out_attrs))
+
 
 # ---------------------------------------------------------------------------
 # Adapter
@@ -993,6 +1197,12 @@ class JsonlAdapter(FormatAdapter):
 
     name = "jsonl"
     extensions = (".jsonl", ".ndjson")
+    allowed_options = frozenset({"path", "on_error"})
+
+    def validate_options(self, engine, options: dict) -> dict:
+        options = super().validate_options(engine, options)
+        validate_on_error(options)
+        return options
 
     #: JSONL tokenization is string/escape/bracket aware — a state
     #: machine per byte, not a memchr-style delimiter scan — so it runs

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import datetime
 import fnmatch
+import hashlib
 import json
 import re
 from dataclasses import dataclass
@@ -77,6 +78,33 @@ _PARTITION_BY_RE = re.compile(
 #: persisted to the VFS, so a fresh engine over the same VFS starts
 #: with warm per-file zone maps (file pruning before any rescan).
 _ZONE_PREFIX = "__zones__/"
+
+
+def _file_fingerprint(vfs, path: str) -> str:
+    """Content fingerprint of a data file: hash of its first and last
+    OS-cache block plus the size. The (rewrite_count, size) staleness
+    guard cannot see a same-size in-place mutation made behind the
+    engine's back; hashing the head and tail blocks catches it without
+    paying a full-file read on every zone load."""
+    from repro.storage.vfs import OS_CACHE_BLOCK
+    data = vfs.read_bytes(path)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(len(data)).encode())
+    digest.update(b"\x00")
+    digest.update(data[:OS_CACHE_BLOCK])
+    digest.update(b"\x00")
+    digest.update(data[-OS_CACHE_BLOCK:])
+    return digest.hexdigest()
+
+
+def _payload_checksum(payload: dict) -> str:
+    """Integrity checksum over the sidecar payload itself (everything
+    except the checksum field), so bit rot in the sidecar is detected
+    rather than silently steering pruning decisions."""
+    body = {key: value for key, value in payload.items()
+            if key != "checksum"}
+    encoded = json.dumps(body, sort_keys=True, default=str).encode()
+    return hashlib.blake2b(encoded, digest_size=16).hexdigest()
 
 
 def _pack_zone_value(value):
@@ -236,6 +264,9 @@ class PartitionedAccess:
         self.inner = inner
         self.options = options
         self.pattern = options.get("path", "")
+        #: per-table error policy, inherited by every child access
+        #: through ``_child_options`` (surfaced by EXPLAIN here).
+        self.on_error = options.get("on_error", "fail")
         self.pool = getattr(engine, "scan_pool", None)
         self.parts: list[_Partition] = []
         self._by_path: dict[str, _Partition] = {}
@@ -305,6 +336,8 @@ class PartitionedAccess:
             "zone": {name: [_pack_zone_value(lo), _pack_zone_value(hi)]
                      for name, (lo, hi) in part.zone.items()},
         }
+        payload["fingerprint"] = _file_fingerprint(self.vfs, part.path)
+        payload["checksum"] = _payload_checksum(payload)
         self.vfs.write_bytes(self._zone_path(part),
                              json.dumps(payload).encode())
 
@@ -318,10 +351,22 @@ class PartitionedAccess:
         try:
             payload = json.loads(self.vfs.read_bytes(path).decode())
         except (ValueError, UnicodeDecodeError):
-            return  # corrupt sidecar: treat as absent
+            self._quarantine_zone(part, path)
+            return  # corrupt sidecar: quarantined, rebuilt on next scan
+        if (not isinstance(payload, dict)
+                or payload.get("checksum") != _payload_checksum(payload)):
+            self._quarantine_zone(part, path)
+            return  # sidecar body doesn't match its checksum
         if (payload.get("rewrites") != part._seen_rewrites
                 or payload.get("size") != part._seen_size):
             return  # data file changed since the sidecar was written
+        if payload.get("fingerprint") != _file_fingerprint(self.vfs,
+                                                           part.path):
+            # Same (rewrites, size) but different bytes: the file was
+            # mutated in place behind the engine's back. The recorded
+            # bounds may no longer cover every row — quarantine.
+            self._quarantine_zone(part, path)
+            return
         row_count = payload.get("row_count")
         if not isinstance(row_count, int):
             return
@@ -335,6 +380,15 @@ class PartitionedAccess:
                                            _unpack_zone_value(bounds[1]))
             except (KeyError, IndexError, TypeError, ValueError):
                 continue
+
+    def _quarantine_zone(self, part: _Partition, path: str) -> None:
+        """Drop an untrustworthy sidecar (corrupt, checksum mismatch, or
+        fingerprint-detected in-place mutation): delete it, count the
+        degradation, and let the next scan rebuild it from the raw file
+        — graceful degradation, never a wrong pruning decision."""
+        if self.vfs.exists(path):
+            self.vfs.delete(path)
+        self.model.aux_rebuild(1)
 
     def _seed_bounds(self, part: _Partition) -> tuple:
         if part.key is None:

@@ -189,6 +189,29 @@ class FormatAdapter:
         return "external" if external else policy
 
 
+#: the valid values of the per-table ``on_error`` option
+ON_ERROR_POLICIES = ("fail", "skip", "null")
+
+
+def validate_on_error(options: dict) -> None:
+    """Normalize and validate the per-table ``on_error`` error policy
+    (shared by every raw text adapter that supports tolerant scans):
+    ``'fail'`` (default) propagates the first malformed row as a typed
+    error; ``'skip'`` quarantines malformed rows to a ``__rejects__/``
+    sidecar and counts them in ``rows_rejected``; ``'null'`` keeps the
+    row, reading unparseable touched values as NULL."""
+    policy = options.get("on_error")
+    if policy is None:
+        return
+    if not isinstance(policy, str) or \
+            policy.lower() not in ON_ERROR_POLICIES:
+        raise CatalogError(
+            f"option 'on_error' must be one of "
+            f"{', '.join(repr(p) for p in ON_ERROR_POLICIES)}; got "
+            f"{policy!r}")
+    options["on_error"] = policy.lower()
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -251,7 +274,7 @@ class CsvAdapter(FormatAdapter):
 
     name = "csv"
     extensions = (".csv", ".tbl", ".tsv", ".txt")
-    allowed_options = frozenset({"path", "delimiter"})
+    allowed_options = frozenset({"path", "delimiter", "on_error"})
 
     def validate_options(self, engine, options: dict) -> dict:
         options = super().validate_options(engine, options)
@@ -262,6 +285,7 @@ class CsvAdapter(FormatAdapter):
                 raise CatalogError(
                     f"option 'delimiter' must be a single byte, got "
                     f"{delimiter!r}")
+        validate_on_error(options)
         return options
 
     def _dialect(self, engine, options: dict) -> CsvDialect:

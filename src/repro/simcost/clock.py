@@ -52,6 +52,10 @@ class CostEvent(enum.Enum):
     KERNEL_HITS = "kernel_hits"              # executions served by a compiled scan kernel
     KERNEL_COMPILES = "kernel_compiles"      # scan kernels generated and compiled
     KERNEL_BAILOUTS = "kernel_bailouts"      # kernel blocks falling back to the generic path
+    IO_STALL = "io_stall"                    # virtual seconds stalled on injected I/O latency / retry backoff
+    ROWS_REJECTED = "rows_rejected"          # malformed raw rows quarantined under on_error skip/null
+    IO_RETRIES = "io_retries"                # transient I/O errors retried by the storage layer
+    AUX_REBUILDS = "aux_rebuilds"            # auxiliary structures quarantined after integrity failure
 
 
 @dataclass

@@ -176,6 +176,21 @@ class CostModel:
     def kernel_bailout(self, count: int = 1) -> None:
         self.charge(CostEvent.KERNEL_BAILOUTS, count)
 
+    # -- fault tolerance -----------------------------------------------------
+    def io_stall(self, seconds: float) -> None:
+        """Stall the virtual clock for ``seconds`` of injected I/O
+        latency or transient-retry backoff (units are raw seconds)."""
+        self.charge(CostEvent.IO_STALL, seconds)
+
+    def io_retry(self, count: int = 1) -> None:
+        self.charge(CostEvent.IO_RETRIES, count)
+
+    def rows_rejected(self, count: int = 1) -> None:
+        self.charge(CostEvent.ROWS_REJECTED, count)
+
+    def aux_rebuild(self, count: int = 1) -> None:
+        self.charge(CostEvent.AUX_REBUILDS, count)
+
     # -- loaded-engine binary pages ------------------------------------------
     def deserialize(self, nattrs: int) -> None:
         self.charge(CostEvent.DESERIALIZE, nattrs)

@@ -82,6 +82,15 @@ class CostProfile:
     kernel_hits: float = 0.0
     kernel_compiles: float = 0.0
     kernel_bailouts: float = 0.0
+    # Injected I/O stalls (fault injection / transient-retry backoff) are
+    # billed in raw virtual seconds: one unit is one second of stall.
+    io_stall: float = 1.0
+    # Fault-tolerance observability counters: free of virtual time so a
+    # clean scan under a tolerant error policy stays cost-identical to
+    # the same scan under on_error 'fail'.
+    rows_rejected: float = 0.0
+    io_retries: float = 0.0
+    aux_rebuilds: float = 0.0
 
     def rate(self, event: CostEvent) -> float:
         """The price of one unit of ``event`` under this profile."""

@@ -194,6 +194,13 @@ class ScanOp(PlanOp):
             out["files"] = self.partitions.total
             out["files_scanned"] = self.partitions.scanned
             out["files_pruned"] = self.partitions.pruned
+        on_error = getattr(self.access, "on_error", "fail")
+        if on_error != "fail":
+            # Non-default error policy changes what the scan can emit
+            # (rows quarantined or NULL-filled), so it is part of the
+            # plan summary — 'fail' stays silent to keep default
+            # EXPLAIN output unchanged.
+            out["on_error"] = on_error
         # ``kernel_info`` is deliberately NOT part of the plan summary:
         # it is session state (hit/compiled against *that* session's
         # kernel cache), so ``Database.explain()`` and a session's

@@ -203,6 +203,18 @@ class VirtualFS:
         self._entry(path)
         return VirtualFile(self, path, model, notify=notify)
 
+    def fault_check(self, path: str, offset: int, length: int,
+                    model: CostModel) -> None:
+        """Fault-injection hook, called by every costed ``read_at``
+        before the read is charged. The base VFS never faults; a
+        :class:`~repro.storage.faults.FaultInjectingVFS` overrides this
+        with a seeded schedule of transient errors, injected latency
+        and truncation — so chaos tests exercise the *real* read path
+        rather than a mock. Must either return (possibly after charging
+        retries/stalls to ``model``) or raise a typed
+        :class:`~repro.errors.StorageError`."""
+        return None
+
     def _entry(self, path: str) -> _FileEntry:
         entry = self._files.get(path)
         if entry is None:
@@ -243,6 +255,7 @@ class VirtualFile:
         """
         if offset < 0:
             raise StorageError(f"negative offset: {offset}")
+        self.vfs.fault_check(self.path, offset, length, self.model)
         entry = self.vfs._entry(self.path)
         end = min(offset + max(length, 0), len(entry.data))
         if end <= offset:
