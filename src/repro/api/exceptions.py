@@ -65,6 +65,10 @@ _ERROR_MAP: list[tuple[type, type]] = [
     (_errors.UnknownColumnError, ProgrammingError),
     (_errors.BindError, ProgrammingError),
     (_errors.BudgetError, OperationalError),
+    # Admission-time rejections (server busy, tenant over quota): the
+    # engine did no work, the client may retry. The stable ``code``
+    # (SERVER_BUSY / QUOTA_EXCEEDED) rides along via _carry_context.
+    (_errors.AdmissionError, OperationalError),
     (_errors.TypeError_, DataError),
     (_errors.FormatError, DataError),
     (_errors.StorageError, OperationalError),

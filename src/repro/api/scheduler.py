@@ -36,7 +36,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Iterator, Optional
 
-from repro.errors import QueryTimeoutError, annotate
+from repro.errors import QueryTimeoutError, ServerBusyError, annotate
 from repro.sql.batch import ColumnBatch
 from repro.sql.executor import (
     QueryResult,
@@ -139,11 +139,24 @@ class QueryJob:
 class Scheduler:
     """FIFO admission with a max-in-flight gate over one shared engine."""
 
-    def __init__(self, engine, max_in_flight: int = 4):
+    def __init__(self, engine, max_in_flight: int = 4,
+                 max_queued: int | None = None):
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
+        if max_queued is not None and max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
         self.engine = engine
         self.max_in_flight = max_in_flight
+        #: bound on the accept queue (waiting jobs). ``None`` — the
+        #: in-process default — queues without limit, preserving the
+        #: original blocking-admission semantics. A server front end
+        #: sets a bound so saturation surfaces as a typed
+        #: :class:`~repro.errors.ServerBusyError` (back-pressure)
+        #: instead of unbounded queueing.
+        self.max_queued = max_queued
+        #: queries cancelled before their stream finished (also charged
+        #: as the zero-priced ``queries_abandoned`` engine counter)
+        self.abandoned = 0
         self._running: list[QueryJob] = []
         self._waiting: deque[QueryJob] = deque()
         self._rr = 0  # round-robin pointer for driving foreign jobs
@@ -157,10 +170,31 @@ class Scheduler:
     def queued(self) -> int:
         return len(self._waiting)
 
+    @property
+    def saturated(self) -> bool:
+        """True when a new submission would be rejected: every slot is
+        running and the bounded accept queue (if any) is full."""
+        return (self.max_queued is not None
+                and len(self._running) >= self.max_in_flight
+                and len(self._waiting) >= self.max_queued)
+
     # -- admission ---------------------------------------------------------
     def submit(self, job: QueryJob) -> None:
         """Queue a job; it is admitted immediately when a slot is free
-        and no earlier job is still waiting (strict FIFO)."""
+        and no earlier job is still waiting (strict FIFO). With a
+        bounded accept queue (``max_queued``), a submission that finds
+        both the gate and the queue full is rejected with
+        :class:`~repro.errors.ServerBusyError` before any engine work
+        happens."""
+        if self.saturated:
+            raise annotate(
+                ServerBusyError(
+                    f"admission gate saturated: {len(self._running)} "
+                    f"queries in flight (max {self.max_in_flight}) and "
+                    f"{len(self._waiting)} waiting (max {self.max_queued}); "
+                    f"retry later"),
+                in_flight=len(self._running), queued=len(self._waiting),
+                max_in_flight=self.max_in_flight, max_queued=self.max_queued)
         self._waiting.append(job)
         self._refill()
 
@@ -272,9 +306,15 @@ class Scheduler:
     def cancel(self, job: QueryJob) -> None:
         """Abandon a job: close its live iterator (scans keep their
         partial positional-map/cache state, as with any abandoned
-        generator) and release its slot."""
+        generator) and release its slot. The remaining batches are
+        never produced, let alone buffered — early close is how a
+        cursor (or a server on behalf of a disconnected client) stops
+        an unfinished query from consuming its scheduler slot. Each
+        abandon is counted (zero-priced ``queries_abandoned``)."""
         if job.done:
             return
+        self.abandoned += 1
+        self.engine.model.query_abandoned()
         if job.state == "queued":
             try:
                 self._waiting.remove(job)

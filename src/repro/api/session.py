@@ -200,6 +200,11 @@ class Session:
         self._jobs: set[QueryJob] = set()
         self._elapsed = 0.0
         self._counters: dict[str, float] = {}
+        #: observers of this session's cost deltas — each is called as
+        #: ``hook(elapsed, counters)`` for every charge. The server
+        #: front end uses this to roll per-session ledgers up into
+        #: per-tenant quota accounting without touching the engine.
+        self.cost_hooks: list = []
         self.stats = {"parses": 0, "plans": 0, "replans": 0,
                       "statement_cache_hits": 0, "queries": 0}
         engine.attach_session(self)
@@ -357,7 +362,15 @@ class Session:
                            timeout=timeout)
             statement._live_jobs.add(job)
             self._jobs.add(job)
-            self.scheduler.submit(job)
+            try:
+                self.scheduler.submit(job)
+            except BaseException:
+                # Admission rejected (bounded accept queue saturated):
+                # the job never existed as far as ledgers or the
+                # statement's re-bind lock are concerned.
+                self._jobs.discard(job)
+                statement._live_jobs.discard(job)
+                raise
         self.stats["queries"] += 1
         return job
 
@@ -392,6 +405,8 @@ class Session:
         self._elapsed += elapsed
         for key, units in counters.items():
             self._counters[key] = self._counters.get(key, 0) + units
+        for hook in self.cost_hooks:
+            hook(elapsed, counters)
 
     # -- per-session accounting ---------------------------------------------
     def elapsed(self) -> float:

@@ -196,6 +196,33 @@ class QueryTimeoutError(ExecutionError):
     code = "QUERY_TIMEOUT"
 
 
+class AdmissionError(ReproError):
+    """Base class for admission-time rejections: the query was refused
+    *before* any engine work happened, so retrying it later is always
+    safe and nothing was charged to any ledger."""
+
+    code = "ADMISSION"
+
+
+class ServerBusyError(AdmissionError):
+    """The admission gate and its bounded accept queue are both
+    saturated (``max_in_flight`` running queries plus ``max_queued``
+    waiting). Raised instead of queueing without bound — the typed
+    back-pressure signal a network front end forwards to clients as
+    ``SERVER_BUSY`` so they can retry with backoff."""
+
+    code = "SERVER_BUSY"
+
+
+class QuotaExceededError(AdmissionError):
+    """A tenant's virtual-cost quota is exhausted. Enforced at
+    admission time: queries already streaming are allowed to finish
+    (their cost keeps accruing to the tenant ledger), but no new query
+    is admitted for the tenant until its quota is raised or reset."""
+
+    code = "QUOTA_EXCEEDED"
+
+
 class UnknownColumnError(ReproError, ValueError):
     """Raised when a result column is looked up by a name it does not
     have. Carries the requested name and the available columns so the

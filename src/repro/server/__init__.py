@@ -1,0 +1,38 @@
+"""Network service front end: the library as a server.
+
+The session/cursor API (:mod:`repro.api`) made the engine shareable by
+many in-process clients under one admission scheduler; this package
+puts that surface on the wire so *remote* clients get the same thing:
+
+* :mod:`repro.server.protocol` — a length-prefixed JSON framing that
+  carries the full Session/Cursor surface (execute with ``?`` params,
+  prepared statements, EXPLAIN, fetchmany streaming, structured
+  errors) symmetrically between server and client.
+* :mod:`repro.server.server` — :class:`QueryServer`, an asyncio server
+  multiplexing many connections onto one engine through a
+  single-threaded executor bridge, with typed ``SERVER_BUSY``
+  back-pressure, graceful drain on shutdown, and disconnect →
+  cursor early-close.
+* :mod:`repro.server.tenants` — per-tenant quota ledgers rolled up
+  from the per-session cost deltas (``QUOTA_EXCEEDED`` at admission).
+* :mod:`repro.server.client` — a pure-stdlib wire client implementing
+  the same Session/Cursor API, so code written against
+  ``repro.connect()`` runs unchanged against a server.
+* :mod:`repro.server.metrics` — HTTP ``/health`` and ``/metrics``
+  exposing the engine's CostEvent counters, scheduler depth and
+  per-tenant spend (cf. resource-utilization monitoring for raw-data
+  query processing).
+"""
+
+from repro.server.client import WireCursor, WireSession, wire_connect
+from repro.server.server import QueryServer
+from repro.server.tenants import Tenant, TenantRegistry
+
+__all__ = [
+    "QueryServer",
+    "Tenant",
+    "TenantRegistry",
+    "WireCursor",
+    "WireSession",
+    "wire_connect",
+]

@@ -1,0 +1,424 @@
+"""Pure-stdlib wire client: the Session/Cursor API over a socket.
+
+:func:`wire_connect` is the remote twin of :func:`repro.connect`:
+it returns a :class:`WireSession` whose cursors implement the same
+DB-API-flavored surface as :class:`repro.api.cursor.Cursor` — execute
+with ``?`` params, prepared statements, EXPLAIN, ``fetchone`` /
+``fetchmany`` / ``fetchall`` / iteration, ``description`` /
+``rowcount`` / ``plan``, per-query ``counters()`` / ``elapsed()`` —
+so code (and tests) written against an in-process session run
+unchanged against a server. Rows, column metadata and cost counters
+round-trip bit-identically (dates and counter keys are restored by the
+protocol layer), and server-side failures re-raise as the *same*
+DB-API exception classes with their stable ``code`` and structured
+``context`` intact.
+
+The client needs nothing beyond the standard library (``socket``,
+``struct``, ``json``, ``threading``); it never imports the engine.
+One socket carries one session; requests are serialized under a lock
+(the protocol is strictly request/response), so a session and its
+cursors may be shared across threads the same way DB-API connections
+usually are: one operation at a time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.api.exceptions import InterfaceError, ProgrammingError
+from repro.server import protocol
+from repro.sql.executor import QueryResult, column_index
+
+#: rows pulled per wire round trip by fetchall()/iteration
+DEFAULT_FETCH_CHUNK = 1024
+
+
+def wire_connect(host: str, port: int, *, tenant: str | None = None,
+                 timeout: float | None = None) -> "WireSession":
+    """Open a session on a :class:`~repro.server.server.QueryServer`.
+
+    ``tenant`` names the quota ledger this connection bills to (the
+    server's registry decides whether unknown names are auto-created).
+    ``timeout`` is the socket timeout in real seconds (None = block).
+    """
+    return WireSession(host, port, tenant=tenant, timeout=timeout)
+
+
+class WireSession:
+    """One client's connection to a remote engine."""
+
+    def __init__(self, host: str, port: int, tenant: str | None = None,
+                 timeout: float | None = None):
+        self._sock = socket.create_connection((host, port), timeout)
+        self._sock.settimeout(timeout)
+        self._stream = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.closed = False
+        hello = self._request("hello", tenant=tenant)
+        #: tenant this session bills to (server-resolved)
+        self.tenant: str = hello.get("tenant")
+        self.tenant_quota = hello.get("quota")
+        self.engine_name: str = hello.get("engine")
+        self.protocol_version: int = hello.get("protocol")
+
+    # -- plumbing ------------------------------------------------------------
+    def _request(self, op: str, **fields) -> dict:
+        with self._lock:
+            if self.closed:
+                raise InterfaceError("session is closed")
+            mid = next(self._ids)
+            message = {"id": mid, "op": op}
+            message.update(fields)
+            try:
+                protocol.write_frame(self._stream, message)
+                response = protocol.read_frame(self._stream)
+            except (ConnectionError, OSError) as exc:
+                self._teardown()
+                raise InterfaceError(
+                    f"connection to server lost: {exc}") from exc
+        if response is None:
+            self._teardown()
+            raise InterfaceError("server closed the connection")
+        if response.get("id") != mid:
+            self._teardown()
+            raise protocol.ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {mid}")
+        if not response.get("ok"):
+            raise protocol.restore_error(response.get("error") or {})
+        return response
+
+    def _teardown(self) -> None:
+        self.closed = True
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- cursors and execution ---------------------------------------------
+    def cursor(self) -> "WireCursor":
+        self._check_open()
+        return WireCursor(self)
+
+    def execute(self, operation, params: Sequence = (),
+                timeout: float | None = None) -> "WireCursor":
+        """Convenience: ``session.cursor().execute(...)``."""
+        return self.cursor().execute(operation, params, timeout=timeout)
+
+    def query(self, sql, params: Sequence = ()) -> QueryResult:
+        """Eager convenience: execute and drain into a QueryResult."""
+        cursor = self.execute(sql, params)
+        try:
+            return cursor.result()
+        finally:
+            cursor.close()
+
+    def prepare(self, sql: str) -> "WirePreparedStatement":
+        self._check_open()
+        response = self._request("prepare", sql=sql)
+        return WirePreparedStatement(self, sql, response["statement"],
+                                     response["param_count"],
+                                     response["is_explain"])
+
+    # -- per-session accounting ---------------------------------------------
+    def _session_info(self) -> dict:
+        return self._request("session")
+
+    def elapsed(self) -> float:
+        """Virtual seconds of engine work this session has caused."""
+        return self._session_info()["elapsed"]
+
+    def counters(self) -> dict:
+        """This session's share of the engine's cost-event units."""
+        return protocol.decode_counters(self._session_info()["counters"])
+
+    def tenant_info(self) -> dict:
+        """The server's view of this session's tenant ledger."""
+        return self._session_info()["tenant"]
+
+    @property
+    def stats(self) -> dict:
+        return self._session_info()["stats"]
+
+    # -- lifecycle -----------------------------------------------------------
+    def _check_open(self) -> None:
+        if self.closed:
+            raise InterfaceError("session is closed")
+
+    def close(self) -> None:
+        """Clean goodbye: the server closes open cursors (abandoning
+        unfinished streams) and the session."""
+        if self.closed:
+            return
+        try:
+            self._request("bye")
+        except InterfaceError:
+            pass
+        self._teardown()
+
+    def close_socket(self) -> None:
+        """Hard disconnect *without* a goodbye — simulates a client
+        crash. The server notices EOF and releases the session's
+        cursors and scheduler slots itself (test hook)."""
+        self._teardown()
+
+    def __enter__(self) -> "WireSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class WirePreparedStatement:
+    """Client handle to a statement prepared (parsed + planned) once
+    server-side; re-executions bind new ``?`` parameters with zero
+    parse/plan work, exactly like the in-process PreparedStatement."""
+
+    def __init__(self, session: WireSession, sql: str, statement_id: int,
+                 param_count: int, is_explain: bool):
+        self.session = session
+        self.sql = sql
+        self.id = statement_id
+        self.param_count = param_count
+        self.is_explain = is_explain
+        self.closed = False
+
+    def execute(self, params: Sequence = ()) -> "WireCursor":
+        """Run on a fresh cursor of the owning session."""
+        return self.session.cursor().execute(self, params)
+
+    def close(self) -> None:
+        if self.closed or self.session.closed:
+            self.closed = True
+            return
+        try:
+            self.session._request("close_statement", statement=self.id)
+        except InterfaceError:
+            pass
+        self.closed = True
+
+
+#: a cursor.execute operation: SQL text or a prepared statement
+Operation = Union[str, WirePreparedStatement]
+
+
+class WireCursor:
+    """One stream of query results, fetched over the wire on demand.
+
+    Rows are buffered server-side one block past the fetch (the same
+    streaming bound as in-process cursors, observable via
+    :attr:`peak_buffered_rows`); each fetch round trip carries at most
+    the rows asked for (capped by the server's ``fetch_rows_max``)."""
+
+    def __init__(self, session: WireSession):
+        self.session = session
+        self.arraysize = 1
+        self._closed = False
+        self._id: Optional[int] = None
+        self._description: Optional[list[tuple]] = None
+        self._done = False
+        self._rowcount_override: Optional[int] = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self.session.closed
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, operation: Operation, params: Sequence = (),
+                timeout: float | None = None) -> "WireCursor":
+        """Run one statement; returns ``self`` so fetches can chain.
+        Any previous unfinished result on this cursor is abandoned
+        (its server-side scheduler slot is released)."""
+        self._check_open()
+        self._release_remote()
+        fields: dict = {"params": list(params)}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        if isinstance(operation, WirePreparedStatement):
+            if operation.session is not self.session:
+                raise InterfaceError(
+                    "prepared statement belongs to a different session")
+            fields["statement"] = operation.id
+        elif isinstance(operation, str):
+            fields["sql"] = operation
+        else:
+            raise InterfaceError(
+                f"cannot execute {type(operation).__name__}; pass SQL text "
+                f"or a WirePreparedStatement")
+        response = self.session._request("execute", **fields)
+        self._id = response["cursor"]
+        description = response.get("description")
+        self._description = ([tuple(entry) for entry in description]
+                             if description is not None else None)
+        self._done = False
+        self._rowcount_override = None
+        return self
+
+    def executemany(self, operation: Operation,
+                    seq_of_params: Sequence[Sequence],
+                    timeout: float | None = None) -> "WireCursor":
+        """Execute once per parameter sequence (prepared a single time
+        server-side when given SQL text). Per DB-API no result set is
+        kept, but ``rowcount`` totals the rows produced."""
+        self._check_open()
+        statement = (operation if isinstance(operation,
+                                             WirePreparedStatement)
+                     else self.session.prepare(operation))
+        total = 0
+        try:
+            for params in seq_of_params:
+                self.execute(statement, params, timeout=timeout)
+                total += len(self.fetchall())
+        finally:
+            if statement is not operation:
+                statement.close()
+        self._release_remote()
+        self._rowcount_override = total
+        return self
+
+    # -- fetching ------------------------------------------------------------
+    def fetchone(self) -> Optional[tuple]:
+        """The next row, or None when the result is exhausted."""
+        rows = self.fetchmany(1)
+        return rows[0] if rows else None
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        """Up to ``size`` rows (default ``arraysize``); the server
+        pulls only the batches needed to satisfy the request."""
+        self._require_result()
+        want = self.arraysize if size is None else size
+        if want < 0:
+            raise InterfaceError("fetchmany size must be >= 0")
+        if self._done or want == 0:
+            return []
+        response = self.session._request("fetch", cursor=self._id, n=want)
+        if response.get("done"):
+            self._done = True
+        return [tuple(row) for row in response["rows"]]
+
+    def fetchall(self) -> list[tuple]:
+        """Every remaining row (chunked wire round trips)."""
+        self._require_result()
+        out: list[tuple] = []
+        while not self._done:
+            out.extend(self.fetchmany(DEFAULT_FETCH_CHUNK))
+        return out
+
+    def result(self) -> QueryResult:
+        """Drain the remaining rows into the classic eager
+        :class:`QueryResult`, with this query's own elapsed/counters
+        ledger and plan summary attached — bit-compatible with
+        ``Cursor.result()`` on an in-process session."""
+        rows = self.fetchall()
+        stats = self._stats()
+        return QueryResult(
+            columns=[entry[0] for entry in (self._description or [])],
+            rows=rows, elapsed=stats["elapsed"],
+            counters=protocol.decode_counters(stats["counters"]),
+            plan=stats["plan"],
+            rows_materialized=stats["rows_materialized"])
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            rows = self.fetchmany(DEFAULT_FETCH_CHUNK)
+            if not rows:
+                return
+            yield from rows
+
+    # -- introspection -------------------------------------------------------
+    def _stats(self) -> dict:
+        self._require_result()
+        return self.session._request("stats", cursor=self._id)
+
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        """DB-API 7-tuples for the current result's columns."""
+        return self._description
+
+    @property
+    def rowcount(self) -> int:
+        """Rows produced by the finished statement (-1 while the
+        stream is still open, per DB-API)."""
+        if self._rowcount_override is not None:
+            return self._rowcount_override
+        if self._id is None:
+            return -1
+        return self._stats()["rowcount"]
+
+    def column_index(self, name: str) -> int:
+        """Position of ``name`` among the result columns."""
+        self._require_result()
+        return column_index(name,
+                            [entry[0] for entry in (self._description or [])])
+
+    @property
+    def plan(self) -> dict:
+        """Physical plan summary of the current statement."""
+        return dict(self._stats()["plan"])
+
+    def counters(self) -> dict:
+        """Cost-event units charged to this query so far."""
+        return protocol.decode_counters(self._stats()["counters"])
+
+    def elapsed(self) -> float:
+        """Virtual seconds charged to this query so far."""
+        return self._stats()["elapsed"]
+
+    @property
+    def peak_buffered_rows(self) -> int:
+        """Server-side high-water mark of rows buffered between the
+        stream and this client (the streaming bound, observable)."""
+        if self._id is None:
+            return 0
+        return self._stats()["peak_buffered_rows"]
+
+    @property
+    def worker_tasks(self) -> int:
+        """Scan-pool tasks this query's pulls dispatched server-side."""
+        if self._id is None:
+            return 0
+        return self._stats()["worker_tasks"]
+
+    # -- lifecycle -----------------------------------------------------------
+    def _require_result(self) -> None:
+        self._check_open()
+        if self._id is None:
+            raise InterfaceError("no query has been executed on this cursor")
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise InterfaceError("cursor is closed")
+
+    def _release_remote(self) -> None:
+        if self._id is None or self.session.closed:
+            self._id = None
+            return
+        try:
+            self.session._request("close_cursor", cursor=self._id)
+        except (InterfaceError, ProgrammingError):
+            pass
+        self._id = None
+        self._description = None
+        self._done = False
+
+    def close(self) -> None:
+        """Release the server-side cursor; an unfinished stream is
+        abandoned there, freeing its scheduler slot immediately."""
+        if self._closed:
+            return
+        self._release_remote()
+        self._closed = True
+
+    def __enter__(self) -> "WireCursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,156 @@
+"""The metrics plane: HTTP ``/health`` and ``/metrics``.
+
+A deliberately tiny HTTP/1.0 responder on the server's metrics port —
+enough for ``curl`` and any Prometheus-style scraper, with zero
+dependencies. ``/metrics`` renders the live resource-utilization view
+the engine already keeps (cf. "Resource Utilization Monitoring for Raw
+Data Query Processing"): every :class:`~repro.simcost.clock.CostEvent`
+counter (scan, conversion, positional-map, cache, rollup, kernel and
+fault counters alike), the virtual clock, scheduler depth and abandons,
+server connection/rejection stats, and per-tenant spend against quota.
+
+The snapshot is taken **on the engine thread**, so one scrape sees a
+consistent point-in-time ledger (never a counter mid-update).
+``/health`` answers from the event loop without touching the engine
+thread, so it stays responsive even while a long query streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING
+
+from repro.simcost.clock import CostEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.server import QueryServer
+
+
+def _label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def render_metrics(server: "QueryServer") -> str:
+    """The ``/metrics`` body (Prometheus text exposition format).
+    Runs on the engine thread for a consistent snapshot."""
+    engine = server.engine
+    scheduler = server.scheduler
+    counters = engine.clock.counters
+    lines = [
+        "# HELP repro_engine_events_total cost-model event units, "
+        "by CostEvent",
+        "# TYPE repro_engine_events_total counter",
+    ]
+    for event in CostEvent:
+        lines.append(
+            f'repro_engine_events_total{{event="{event.value}"}} '
+            f"{counters.get(event, 0)}")
+    lines += [
+        "# TYPE repro_engine_virtual_seconds counter",
+        f"repro_engine_virtual_seconds {engine.clock.now()}",
+        "# TYPE repro_engine_rows_materialized counter",
+        f"repro_engine_rows_materialized {engine.clock.rows_materialized}",
+        "# TYPE repro_scheduler_in_flight gauge",
+        f"repro_scheduler_in_flight {scheduler.in_flight}",
+        "# TYPE repro_scheduler_queued gauge",
+        f"repro_scheduler_queued {scheduler.queued}",
+        "# TYPE repro_scheduler_max_in_flight gauge",
+        f"repro_scheduler_max_in_flight {scheduler.max_in_flight}",
+        "# TYPE repro_scheduler_accept_queue_limit gauge",
+        f"repro_scheduler_accept_queue_limit "
+        f"{-1 if scheduler.max_queued is None else scheduler.max_queued}",
+        "# TYPE repro_scheduler_queries_abandoned counter",
+        f"repro_scheduler_queries_abandoned {scheduler.abandoned}",
+        "# TYPE repro_server_connections_active gauge",
+        f"repro_server_connections_active {server.connections_active}",
+        "# TYPE repro_server_connections_total counter",
+        f"repro_server_connections_total "
+        f"{server.stats['connections_total']}",
+        "# TYPE repro_server_queries_total counter",
+        f"repro_server_queries_total {server.stats['queries']}",
+        "# TYPE repro_server_rejected_total counter",
+        f'repro_server_rejected_total{{reason="busy"}} '
+        f"{server.stats['rejected_busy']}",
+        f'repro_server_rejected_total{{reason="quota"}} '
+        f"{server.stats['rejected_quota']}",
+    ]
+    tenant_rows = server.tenants.snapshot()
+    if tenant_rows:
+        lines += [
+            "# TYPE repro_tenant_spent_virtual_seconds counter",
+            "# TYPE repro_tenant_quota_virtual_seconds gauge",
+            "# TYPE repro_tenant_rejected_total counter",
+            "# TYPE repro_tenant_connections gauge",
+        ]
+        for row in tenant_rows:
+            tenant = _label(row["name"])
+            lines.append(
+                f'repro_tenant_spent_virtual_seconds{{tenant="{tenant}"}} '
+                f"{row['spent_seconds']}")
+            if row["quota"] is not None:
+                lines.append(
+                    f'repro_tenant_quota_virtual_seconds'
+                    f'{{tenant="{tenant}"}} {row["quota"]}')
+            lines.append(
+                f'repro_tenant_rejected_total{{tenant="{tenant}"}} '
+                f"{row['rejected']}")
+            lines.append(
+                f'repro_tenant_connections{{tenant="{tenant}"}} '
+                f"{row['connections']}")
+    return "\n".join(lines) + "\n"
+
+
+def render_health(server: "QueryServer") -> str:
+    """The ``/health`` body — cheap, engine-thread-free liveness."""
+    return json.dumps({
+        "status": "draining" if server.draining else "ok",
+        "engine": server.engine.name,
+        "in_flight": server.scheduler.in_flight,
+        "queued": server.scheduler.queued,
+        "connections": server.connections_active,
+    }) + "\n"
+
+
+async def serve_http(server: "QueryServer", reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+    """Handle one HTTP connection on the metrics port (one request,
+    then close — HTTP/1.0 semantics keep the responder stateless)."""
+    try:
+        request_line = await asyncio.wait_for(reader.readline(), timeout=10)
+        while True:  # drain request headers
+            line = await asyncio.wait_for(reader.readline(), timeout=10)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        parts = request_line.decode("latin-1", "replace").split()
+        method = parts[0] if parts else ""
+        path = (parts[1] if len(parts) > 1 else "/").split("?", 1)[0]
+        if method != "GET":
+            status, body = "405 Method Not Allowed", "method not allowed\n"
+            content_type = "text/plain"
+        elif path == "/health":
+            status = "200 OK"
+            body = render_health(server)
+            content_type = "application/json"
+        elif path == "/metrics":
+            status = "200 OK"
+            body = await server._run_engine(render_metrics, server)
+            content_type = "text/plain; version=0.0.4"
+        else:
+            status, body = "404 Not Found", f"no such path {path}\n"
+            content_type = "text/plain"
+        payload = body.encode("utf-8")
+        writer.write(
+            f"HTTP/1.0 {status}\r\n"
+            f"Content-Type: {content_type}; charset=utf-8\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + payload)
+        await writer.drain()
+    except (asyncio.TimeoutError, ConnectionError, asyncio.CancelledError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except BaseException:
+            pass

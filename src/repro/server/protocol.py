@@ -1,0 +1,223 @@
+"""Wire protocol: length-prefixed JSON frames.
+
+Each frame is a 4-byte big-endian length followed by a UTF-8 JSON
+object. Requests carry ``{"id": n, "op": name, ...}``; responses echo
+the id as ``{"id": n, "ok": true, ...}`` or ``{"id": n, "ok": false,
+"error": {...}}``. One request yields exactly one response, in order —
+the framing stays trivial so a pure-stdlib client (socket + struct +
+json) can speak it.
+
+Value fidelity: rows may contain dates (the engine's DATE columns
+yield :class:`datetime.date`), which JSON has no type for. They travel
+as ``{"$date": "YYYY-MM-DD"}`` and are restored on decode, so a wire
+fetch returns *bit-identical* rows to an in-process fetch. Cost
+counters travel keyed by event value strings — the keying in-process
+job/session ledgers already use — so they compare equal end to end.
+
+Errors travel structured, not stringly: the DB-API class name, the
+stable machine-readable ``code`` (``SQL_PARSE``, ``CSV_FORMAT``,
+``QUERY_TIMEOUT``, ``SERVER_BUSY``, ``QUOTA_EXCEEDED``, ...) and the
+``context`` dict (``path``, ``byte_offset``, ``row_number``,
+``table``, ...) from :mod:`repro.errors`. :func:`restore_error`
+reconstructs the right :mod:`repro.api.exceptions` class client-side,
+so ``except ProgrammingError`` works identically over the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import datetime
+import json
+import struct
+from typing import BinaryIO, Optional
+
+from repro.api import exceptions as _dbapi
+from repro.api.exceptions import Error, InterfaceError, map_error
+from repro.simcost.clock import CostEvent
+
+#: protocol revision, exchanged in the hello handshake
+PROTOCOL_VERSION = 1
+
+#: hard bound on one frame's payload — a corrupt or hostile length
+#: prefix must not make either side allocate without limit
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: context keys guaranteed to survive the wire (others ride along when
+#: JSON-serializable)
+CONTEXT_KEYS = ("path", "byte_offset", "row_number", "table", "timeout",
+                "in_flight", "queued", "max_in_flight", "max_queued",
+                "tenant", "quota", "spent")
+
+
+class ProtocolError(InterfaceError):
+    """The peer violated the framing (bad length, bad JSON, id skew)."""
+
+    code = "PROTOCOL"
+
+
+# ---------------------------------------------------------------------------
+# JSON value fidelity
+# ---------------------------------------------------------------------------
+class _Encoder(json.JSONEncoder):
+    def default(self, o):
+        if isinstance(o, datetime.date) and not isinstance(
+                o, datetime.datetime):
+            return {"$date": o.isoformat()}
+        if isinstance(o, CostEvent):
+            return o.value
+        return super().default(o)
+
+
+def _decode_object(obj: dict):
+    if len(obj) == 1 and "$date" in obj:
+        return datetime.date.fromisoformat(obj["$date"])
+    return obj
+
+
+def encode(message: dict) -> bytes:
+    """One message as a framed payload (length prefix + JSON)."""
+    payload = json.dumps(message, cls=_Encoder,
+                         separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol limit")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"),
+                             object_hook=_decode_object)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must decode to an object, got {type(message).__name__}")
+    return message
+
+
+def _check_length(nbytes: int) -> None:
+    if nbytes > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {nbytes}-byte frame (limit "
+            f"{MAX_FRAME_BYTES}); closing")
+
+
+# ---------------------------------------------------------------------------
+# Blocking I/O (client side: plain sockets / file objects)
+# ---------------------------------------------------------------------------
+def write_frame(stream: BinaryIO, message: dict) -> None:
+    stream.write(encode(message))
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> Optional[dict]:
+    """The next message, or None on clean EOF at a frame boundary."""
+    header = stream.read(_LENGTH.size)
+    if not header:
+        return None
+    if len(header) < _LENGTH.size:
+        raise ProtocolError("connection closed mid-frame header")
+    (nbytes,) = _LENGTH.unpack(header)
+    _check_length(nbytes)
+    payload = b""
+    while len(payload) < nbytes:
+        chunk = stream.read(nbytes - len(payload))
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame payload")
+        payload += chunk
+    return decode(payload)
+
+
+# ---------------------------------------------------------------------------
+# Asyncio I/O (server side)
+# ---------------------------------------------------------------------------
+async def write_frame_async(writer: asyncio.StreamWriter,
+                            message: dict) -> None:
+    writer.write(encode(message))
+    await writer.drain()
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> Optional[dict]:
+    """The next message, or None on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame header") from exc
+    (nbytes,) = _LENGTH.unpack(header)
+    _check_length(nbytes)
+    try:
+        payload = await reader.readexactly(nbytes)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame payload") from exc
+    return decode(payload)
+
+
+# ---------------------------------------------------------------------------
+# Error serialization
+# ---------------------------------------------------------------------------
+def _wire_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def describe_error(exc: BaseException) -> dict:
+    """Serialize any server-side failure as a wire error object.
+
+    Internal errors are first mapped through the DB-API boundary
+    (:func:`repro.api.exceptions.map_error`) exactly as an in-process
+    cursor would map them, so wire clients see the same class, the same
+    stable ``code`` and the same structured context."""
+    mapped = exc if isinstance(exc, Error) else map_error(exc)
+    context = {key: _wire_safe(value)
+               for key, value in (getattr(mapped, "context", None)
+                                  or {}).items()}
+    return {
+        "dbapi": type(mapped).__name__,
+        "code": getattr(mapped, "code", "REPRO_ERROR"),
+        "message": str(mapped),
+        "context": context,
+    }
+
+
+def restore_error(error: dict) -> Error:
+    """Reconstruct the DB-API exception a wire error describes.
+
+    The class is resolved by name inside :mod:`repro.api.exceptions`
+    (never arbitrary import paths), falling back to
+    :class:`~repro.api.exceptions.OperationalError` for names a newer
+    server might send; ``code`` and ``context`` are reattached so
+    handlers keyed on either keep working."""
+    name = error.get("dbapi", "OperationalError")
+    cls = getattr(_dbapi, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, Error)):
+        cls = _dbapi.OperationalError
+    exc = cls(error.get("message", "server error"))
+    exc.code = error.get("code", exc.code)
+    exc.context = dict(error.get("context") or {})
+    return exc
+
+
+# ---------------------------------------------------------------------------
+# Counter fidelity
+# ---------------------------------------------------------------------------
+def encode_counters(counters: dict) -> dict:
+    """Cost counters for the wire. Job/session ledgers are already
+    keyed by event *value* strings (see ``counters_delta``), which is
+    exactly what JSON wants — this normalizes any stray enum keys and
+    otherwise passes the dict through so a wire ``counters()`` compares
+    equal to its in-process twin."""
+    return {(key.value if isinstance(key, CostEvent) else str(key)): units
+            for key, units in counters.items()}
+
+
+def decode_counters(counters: dict) -> dict:
+    """Wire counters arrive keyed by event value strings — the same
+    keying in-process ledgers use, so decoding is the identity."""
+    return dict(counters or {})

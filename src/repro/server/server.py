@@ -1,0 +1,525 @@
+"""QueryServer: many connections, one engine, one admission gate.
+
+Concurrency model — the engine (catalog, positional maps, caches,
+virtual clock, scheduler) is deliberately single-threaded: that is
+what keeps admission, structure mutation and cost accounting
+deterministic (PR 4). The server therefore bridges asyncio to the
+engine through a **single-threaded executor**: every engine operation
+(session open, execute, fetch, close) is a closure serialized onto one
+dedicated thread, while the event loop keeps servicing thousands of
+sockets. The bridge is *bounded* by the scheduler itself: queries are
+admitted against ``max_in_flight`` with a bounded accept queue
+(``accept_queue``), and a submission that finds both saturated is
+rejected with a typed ``SERVER_BUSY`` error before any engine work —
+back-pressure, not unbounded queueing. Fetches on already-admitted
+cursors are never rejected (they drain work and relieve pressure).
+
+Disconnect semantics: a client that vanishes mid-stream must not keep
+consuming a scheduler slot. The connection teardown path closes every
+open cursor (→ ``Scheduler.cancel`` → the abandoned-scan cleanup
+contract, counted by the zero-priced ``queries_abandoned`` event) and
+the session, on the engine thread, so abandoned queries release their
+slots exactly as an in-process ``cursor.close()`` does.
+
+Shutdown drains gracefully: listeners close first (no new
+connections), idle connections are dropped, busy connections get
+``drain_timeout`` seconds to finish their current request, leftover
+sessions are released on the engine thread, and only then does the
+engine thread retire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.api.exceptions import InterfaceError
+from repro.api.session import Session
+from repro.server import metrics as _metrics
+from repro.server import protocol
+from repro.server.tenants import Tenant, TenantRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.cursor import Cursor
+    from repro.engines.base import Database
+
+
+class _Connection:
+    """Server-side state of one client connection: a session bound to
+    a tenant, plus this connection's cursor/statement id namespaces.
+    All methods that touch the session run on the engine thread."""
+
+    __slots__ = ("server", "session", "tenant", "cursors", "statements",
+                 "_ids", "closed", "busy", "task", "_released")
+
+    def __init__(self, server: "QueryServer"):
+        self.server = server
+        self.session: Optional[Session] = None
+        self.tenant: Optional[Tenant] = None
+        self.cursors: dict[int, "Cursor"] = {}
+        self.statements: dict[int, object] = {}
+        self._ids = itertools.count(1)
+        self.closed = False
+        self.busy = False
+        self.task: Optional[asyncio.Task] = None
+        self._released = False
+
+    # -- session binding (engine thread) -----------------------------------
+    def bind(self, tenant_name: str | None) -> Tenant:
+        if self.session is not None:
+            raise InterfaceError(
+                "hello must be the first request on a connection")
+        tenant = self.server.tenants.resolve(tenant_name)
+        self._open_session(tenant)
+        return tenant
+
+    def ensure_session(self) -> Session:
+        if self.session is None:
+            self._open_session(self.server.tenants.resolve(None))
+        return self.session
+
+    def _open_session(self, tenant: Tenant) -> None:
+        session = Session(self.server.engine)
+        session.cost_hooks.append(tenant.charge)
+        tenant.connections += 1
+        self.session = session
+        self.tenant = tenant
+
+    # -- id namespaces ------------------------------------------------------
+    def add_cursor(self, cursor: "Cursor") -> int:
+        cid = next(self._ids)
+        self.cursors[cid] = cursor
+        return cid
+
+    def cursor(self, cid) -> "Cursor":
+        cursor = self.cursors.get(cid)
+        if cursor is None:
+            raise InterfaceError(f"unknown cursor id {cid!r}")
+        return cursor
+
+    def add_statement(self, statement) -> int:
+        sid = next(self._ids)
+        self.statements[sid] = statement
+        return sid
+
+    def statement(self, sid):
+        statement = self.statements.get(sid)
+        if statement is None:
+            raise InterfaceError(f"unknown statement id {sid!r}")
+        return statement
+
+    # -- teardown (engine thread; idempotent) --------------------------------
+    def release(self) -> None:
+        """Close every cursor (abandoning unfinished streams, which
+        frees their scheduler slots) and the session. Runs for clean
+        ``bye`` closes and hard disconnects alike."""
+        if self._released:
+            return
+        self._released = True
+        for cursor in list(self.cursors.values()):
+            try:
+                cursor.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        self.cursors.clear()
+        self.statements.clear()
+        if self.session is not None:
+            try:
+                self.session.close()
+            finally:
+                self.tenant.connections -= 1
+
+
+class QueryServer:
+    """The asyncio front end over one engine's admission scheduler.
+
+    Parameters
+    ----------
+    engine:
+        Any :class:`repro.Database`; its shared scheduler becomes the
+        server's admission gate.
+    host / port / metrics_port:
+        Listen addresses; port ``0`` picks an ephemeral port (read the
+        bound one back from :attr:`port` / :attr:`metrics_port`).
+    max_in_flight:
+        Admission gate width (applied when this server is what first
+        creates the engine's scheduler).
+    accept_queue:
+        Bound on the scheduler's waiting queue. When ``max_in_flight``
+        queries are running *and* ``accept_queue`` are waiting, new
+        executes get a typed ``SERVER_BUSY`` rejection.
+    tenants:
+        A :class:`TenantRegistry`; omit for a permissive default
+        (tenants auto-created with no quota).
+    default_timeout:
+        Server-side query deadline in virtual seconds applied when the
+        client does not send its own ``timeout`` (None = unlimited).
+    fetch_rows_max:
+        Cap on rows returned by one fetch frame (bounds per-response
+        buffering regardless of what clients ask for).
+    """
+
+    def __init__(self, engine: "Database", *, host: str = "127.0.0.1",
+                 port: int = 0, metrics_port: int = 0,
+                 max_in_flight: int | None = None, accept_queue: int = 16,
+                 tenants: TenantRegistry | None = None,
+                 default_timeout: float | None = None,
+                 fetch_rows_max: int = 4096):
+        self.engine = engine
+        self.tenants = tenants if tenants is not None else TenantRegistry()
+        self.scheduler = engine.shared_scheduler(max_in_flight)
+        self.scheduler.max_queued = accept_queue
+        self.default_timeout = default_timeout
+        self.fetch_rows_max = fetch_rows_max
+        self.host = host
+        self._want_port = port
+        self._want_metrics_port = metrics_port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
+        self._bound_port: Optional[int] = None
+        self._bound_metrics_port: Optional[int] = None
+        self._engine_exec = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-engine")
+        self._connections: set[_Connection] = set()
+        self._draining = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self.stats = {"connections_total": 0, "queries": 0,
+                      "rejected_busy": 0, "rejected_quota": 0}
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> "QueryServer":
+        """Bind both listeners (query port and metrics port)."""
+        if self._server is not None:
+            raise InterfaceError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self._want_port)
+        self._metrics_server = await asyncio.start_server(
+            lambda r, w: _metrics.serve_http(self, r, w),
+            self.host, self._want_metrics_port)
+        self._bound_port = self._server.sockets[0].getsockname()[1]
+        self._bound_metrics_port = (
+            self._metrics_server.sockets[0].getsockname()[1])
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound query port (after :meth:`start`)."""
+        return self._bound_port
+
+    @property
+    def metrics_port(self) -> int:
+        """The bound metrics/health HTTP port (after :meth:`start`)."""
+        return self._bound_metrics_port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def connections_active(self) -> int:
+        return len(self._connections)
+
+    async def shutdown(self, drain_timeout: float = 5.0) -> None:
+        """Graceful drain: stop accepting, let busy connections finish
+        their current request (up to ``drain_timeout`` seconds), then
+        release leftover sessions on the engine thread and retire it."""
+        if self._draining:
+            return
+        self._draining = True
+        for listener in (self._server, self._metrics_server):
+            if listener is not None:
+                listener.close()
+        for listener in (self._server, self._metrics_server):
+            if listener is not None:
+                await listener.wait_closed()
+        # Idle connections are just waiting for a next request that
+        # drain will never serve — drop them now; busy ones get the
+        # drain window to finish the request in flight.
+        for conn in list(self._connections):
+            if not conn.busy and conn.task is not None:
+                conn.task.cancel()
+        tasks = [c.task for c in list(self._connections) if c.task]
+        if tasks:
+            await asyncio.wait(tasks, timeout=drain_timeout)
+        for conn in list(self._connections):
+            if conn.task is not None:
+                conn.task.cancel()
+        tasks = [c.task for c in list(self._connections) if c.task]
+        if tasks:
+            await asyncio.wait(tasks, timeout=1.0)
+        # Anything still registered lost the race to its own teardown:
+        # release on the engine thread (idempotent) before retiring it.
+        for conn in list(self._connections):
+            await self._run_engine(conn.release)
+            self._connections.discard(conn)
+        self._engine_exec.shutdown(wait=True)
+
+    # -- sync wrappers (tests, benchmarks, examples) -------------------------
+    def start_in_background(self) -> "QueryServer":
+        """Run the server on a dedicated event-loop thread and return
+        once both ports are bound — the synchronous-world entry point
+        (pair with :meth:`stop`)."""
+        if self._thread is not None:
+            raise InterfaceError("server already started")
+        ready = threading.Event()
+        boot_error: list[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+
+            async def boot():
+                try:
+                    await self.start()
+                except BaseException as exc:  # surfaced to the caller
+                    boot_error.append(exc)
+                finally:
+                    ready.set()
+
+            loop.run_until_complete(boot())
+            if not boot_error:
+                loop.run_forever()
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+        self._thread = threading.Thread(target=run, daemon=True,
+                                        name="repro-server")
+        self._thread.start()
+        ready.wait()
+        if boot_error:
+            self._thread.join(timeout=5)
+            raise boot_error[0]
+        return self
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Synchronous graceful shutdown of a background server."""
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.shutdown(drain_timeout), self._loop)
+        future.result(timeout=drain_timeout + 10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    def __enter__(self) -> "QueryServer":
+        return self.start_in_background()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- the executor bridge -------------------------------------------------
+    async def _run_engine(self, fn: Callable, *args):
+        """Run one engine operation on the dedicated engine thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._engine_exec, fn, *args)
+
+    # -- connection handling -------------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(self)
+        conn.task = asyncio.current_task()
+        self._connections.add(conn)
+        self.stats["connections_total"] += 1
+        try:
+            while not self._draining and not conn.closed:
+                message = await protocol.read_frame_async(reader)
+                if message is None:
+                    break
+                conn.busy = True
+                try:
+                    response = await self._dispatch(conn, message)
+                finally:
+                    conn.busy = False
+                await protocol.write_frame_async(writer, response)
+        except (protocol.ProtocolError, ConnectionError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                await asyncio.shield(self._run_engine(conn.release))
+            except BaseException:
+                pass  # shutdown() releases leftovers itself
+            self._connections.discard(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except BaseException:
+                pass
+
+    async def _dispatch(self, conn: _Connection, message: dict) -> dict:
+        mid = message.get("id")
+        op = message.get("op")
+        handler = _OPS.get(op)
+        try:
+            if handler is None:
+                raise InterfaceError(f"unknown protocol op {op!r}")
+            payload = await handler(self, conn, message)
+            return {"id": mid, "ok": True, **payload}
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            error = protocol.describe_error(exc)
+            if error["code"] == "SERVER_BUSY":
+                self.stats["rejected_busy"] += 1
+            elif error["code"] == "QUOTA_EXCEEDED":
+                self.stats["rejected_quota"] += 1
+            return {"id": mid, "ok": False, "error": error}
+
+    # -- protocol operations -------------------------------------------------
+    async def _op_hello(self, conn: _Connection, message: dict) -> dict:
+        tenant_name = message.get("tenant")
+
+        def run():
+            tenant = conn.bind(tenant_name)
+            return {"tenant": tenant.name, "quota": tenant.quota}
+
+        payload = await self._run_engine(run)
+        payload.update(server="repro-server",
+                       protocol=protocol.PROTOCOL_VERSION,
+                       engine=self.engine.name)
+        return payload
+
+    async def _op_prepare(self, conn: _Connection, message: dict) -> dict:
+        sql = message.get("sql")
+        if not isinstance(sql, str):
+            raise InterfaceError("prepare requires sql text")
+
+        def run():
+            session = conn.ensure_session()
+            statement = session.prepare(sql)
+            sid = conn.add_statement(statement)
+            return {"statement": sid,
+                    "param_count": statement.param_count,
+                    "is_explain": statement.is_explain}
+
+        return await self._run_engine(run)
+
+    async def _op_execute(self, conn: _Connection, message: dict) -> dict:
+        params = tuple(message.get("params") or ())
+        timeout = (message["timeout"] if "timeout" in message
+                   else self.default_timeout)
+        sid = message.get("statement")
+        sql = message.get("sql")
+
+        def run():
+            session = conn.ensure_session()
+            # Admission-time quota enforcement: over-quota tenants are
+            # refused before the engine does any work for the query.
+            conn.tenant.check_admission()
+            if sid is not None:
+                operation = conn.statement(sid)
+            elif isinstance(sql, str):
+                operation = sql
+            else:
+                raise InterfaceError(
+                    "execute requires sql text or a statement id")
+            cursor = session.cursor().execute(operation, params,
+                                              timeout=timeout)
+            cid = conn.add_cursor(cursor)
+            self.stats["queries"] += 1
+            return {"cursor": cid, "description": cursor.description}
+
+        return await self._run_engine(run)
+
+    async def _op_fetch(self, conn: _Connection, message: dict) -> dict:
+        cid = message.get("cursor")
+        want = message.get("n", 1)
+        if not isinstance(want, int) or want < 0:
+            raise InterfaceError(f"fetch size must be an int >= 0: {want!r}")
+        want = min(want, self.fetch_rows_max)
+
+        def run():
+            cursor = conn.cursor(cid)
+            rows = cursor.fetchmany(want)
+            job = cursor._job
+            # A failed job is never "done" to the client: its buffered
+            # rows were already returned, and the *next* fetch must make
+            # the round trip that raises the stored error — the same
+            # surface-at-next-fetch contract as the in-process cursor.
+            done = job is None or (job.done and not job.buffer
+                                   and job.error is None)
+            return {"rows": rows, "done": done}
+
+        return await self._run_engine(run)
+
+    async def _op_stats(self, conn: _Connection, message: dict) -> dict:
+        cid = message.get("cursor")
+
+        def run():
+            cursor = conn.cursor(cid)
+            job = cursor._job
+            return {
+                "elapsed": cursor.elapsed(),
+                "counters": protocol.encode_counters(cursor.counters()),
+                "peak_buffered_rows": cursor.peak_buffered_rows,
+                "rowcount": cursor.rowcount,
+                "rows_materialized": job.rows_materialized,
+                "worker_tasks": cursor.worker_tasks,
+                "state": job.state,
+                "plan": job.plan,
+            }
+
+        return await self._run_engine(run)
+
+    async def _op_close_cursor(self, conn: _Connection,
+                               message: dict) -> dict:
+        cid = message.get("cursor")
+
+        def run():
+            cursor = conn.cursor(cid)
+            del conn.cursors[cid]
+            abandoned = cursor._job is not None and not cursor._job.done
+            cursor.close()
+            return {"abandoned": abandoned}
+
+        return await self._run_engine(run)
+
+    async def _op_close_statement(self, conn: _Connection,
+                                  message: dict) -> dict:
+        sid = message.get("statement")
+
+        def run():
+            conn.statement(sid)  # raises on unknown id
+            del conn.statements[sid]
+            return {}
+
+        return await self._run_engine(run)
+
+    async def _op_session(self, conn: _Connection, message: dict) -> dict:
+        def run():
+            session = conn.ensure_session()
+            tenant = conn.tenant
+            return {
+                "elapsed": session.elapsed(),
+                "counters": protocol.encode_counters(session.counters()),
+                "stats": dict(session.stats),
+                "tenant": {"name": tenant.name, "quota": tenant.quota,
+                           "spent_seconds": tenant.spent_seconds,
+                           "remaining": tenant.remaining()},
+            }
+
+        return await self._run_engine(run)
+
+    async def _op_bye(self, conn: _Connection, message: dict) -> dict:
+        conn.closed = True
+        return {}
+
+
+_OPS = {
+    "hello": QueryServer._op_hello,
+    "prepare": QueryServer._op_prepare,
+    "execute": QueryServer._op_execute,
+    "fetch": QueryServer._op_fetch,
+    "stats": QueryServer._op_stats,
+    "close_cursor": QueryServer._op_close_cursor,
+    "close_statement": QueryServer._op_close_statement,
+    "session": QueryServer._op_session,
+    "bye": QueryServer._op_bye,
+}

@@ -1,0 +1,161 @@
+"""Per-tenant accounting: session cost ledgers rolled up into quotas.
+
+The scheduler already charges every query's clock/counter deltas to its
+job and session (PR 2); a tenant is simply a named aggregation point
+above sessions. The server installs :meth:`Tenant.charge` as a session
+cost hook (:attr:`repro.api.session.Session.cost_hooks`), so every
+virtual second and cost-event unit a tenant's connections cause —
+queries, prepares, re-plans, DDL — accrues to one ledger, with zero
+engine changes and zero double counting.
+
+Quotas are *virtual-cost* quotas, in the engine's own currency
+(virtual seconds on the shared clock): enforcement is admission-time —
+:meth:`Tenant.check_admission` raises
+:class:`~repro.errors.QuotaExceededError` before any engine work is
+done for a new query, while queries already streaming run to
+completion and keep billing the tenant (so a tenant can finish at most
+``max_in_flight`` queries past its quota, never start new ones).
+
+All mutation happens on the server's single engine thread; readers
+(the metrics plane) see a consistent snapshot via :meth:`snapshot`
+taken on that same thread.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, Optional
+
+from repro.errors import QuotaExceededError, annotate
+
+#: tenant used by connections that do not name one in their hello
+DEFAULT_TENANT = "default"
+
+
+class Tenant:
+    """One named client population with a shared cost ledger.
+
+    Parameters
+    ----------
+    name:
+        Tenant identifier (carried in the hello handshake).
+    quota:
+        Virtual-second budget; ``None`` = unlimited. Compared against
+        :attr:`spent_seconds` at every admission.
+    """
+
+    def __init__(self, name: str, quota: float | None = None):
+        if quota is not None and quota < 0:
+            raise ValueError(f"negative quota for tenant {name!r}: {quota}")
+        self.name = name
+        self.quota = quota
+        self.spent_seconds = 0.0
+        self.counters: Counter = Counter()
+        #: admissions rejected over quota (observability, not a charge)
+        self.rejected = 0
+        #: live connections currently bound to this tenant
+        self.connections = 0
+
+    # -- ledger ------------------------------------------------------------
+    def charge(self, elapsed: float, counters: dict) -> None:
+        """Session cost-hook entry point: fold one session delta in."""
+        self.spent_seconds += elapsed
+        for event, units in counters.items():
+            self.counters[event] += units
+
+    def remaining(self) -> float | None:
+        """Virtual seconds left under the quota (None = unlimited)."""
+        if self.quota is None:
+            return None
+        return max(0.0, self.quota - self.spent_seconds)
+
+    @property
+    def over_quota(self) -> bool:
+        return self.quota is not None and self.spent_seconds >= self.quota
+
+    # -- enforcement -------------------------------------------------------
+    def check_admission(self) -> None:
+        """Admission gate: refuse new work once the quota is spent."""
+        if self.over_quota:
+            self.rejected += 1
+            raise annotate(
+                QuotaExceededError(
+                    f"tenant {self.name!r} exhausted its quota of "
+                    f"{self.quota:.6g} virtual seconds (spent "
+                    f"{self.spent_seconds:.6g}); no new queries admitted"),
+                tenant=self.name, quota=self.quota,
+                spent=self.spent_seconds)
+
+    def reset(self, quota: float | None = None) -> None:
+        """Zero the ledger (and optionally re-quota) — the billing-cycle
+        rollover hook."""
+        self.spent_seconds = 0.0
+        self.counters.clear()
+        self.rejected = 0
+        if quota is not None:
+            self.quota = quota
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Tenant({self.name!r}, quota={self.quota}, "
+                f"spent={self.spent_seconds:.6g})")
+
+
+class TenantRegistry:
+    """The server's tenant table.
+
+    ``strict=False`` (the default) auto-creates tenants on first sight
+    with ``default_quota`` — the zero-config path. ``strict=True``
+    makes an unknown tenant name in the hello handshake a
+    :class:`~repro.errors.QuotaExceededError`-adjacent admission
+    failure (the connection is refused before a session exists).
+    """
+
+    def __init__(self, default_quota: float | None = None,
+                 strict: bool = False):
+        self.default_quota = default_quota
+        self.strict = strict
+        self._tenants: dict[str, Tenant] = {}
+
+    def declare(self, name: str, quota: float | None = None) -> Tenant:
+        """Create (or re-quota) a tenant explicitly — server setup."""
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = self._tenants[name] = Tenant(name, quota)
+        else:
+            tenant.quota = quota
+        return tenant
+
+    def resolve(self, name: str | None) -> Tenant:
+        """The tenant a connection binds to (hello handshake)."""
+        key = name if name else DEFAULT_TENANT
+        tenant = self._tenants.get(key)
+        if tenant is None:
+            if self.strict:
+                raise annotate(
+                    QuotaExceededError(
+                        f"unknown tenant {key!r}: this server only admits "
+                        f"declared tenants"),
+                    tenant=key)
+            tenant = self._tenants[key] = Tenant(key, self.default_quota)
+        return tenant
+
+    def get(self, name: str) -> Optional[Tenant]:
+        return self._tenants.get(name)
+
+    def __iter__(self) -> Iterator[Tenant]:
+        return iter(self._tenants.values())
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def snapshot(self) -> list[dict]:
+        """Metrics-plane view: one plain dict per tenant."""
+        return [{
+            "name": tenant.name,
+            "quota": tenant.quota,
+            "spent_seconds": tenant.spent_seconds,
+            "remaining": tenant.remaining(),
+            "rejected": tenant.rejected,
+            "connections": tenant.connections,
+            "counters": dict(tenant.counters),
+        } for tenant in self._tenants.values()]

@@ -56,6 +56,7 @@ class CostEvent(enum.Enum):
     ROWS_REJECTED = "rows_rejected"          # malformed raw rows quarantined under on_error skip/null
     IO_RETRIES = "io_retries"                # transient I/O errors retried by the storage layer
     AUX_REBUILDS = "aux_rebuilds"            # auxiliary structures quarantined after integrity failure
+    QUERIES_ABANDONED = "queries_abandoned"  # submitted queries cancelled before their stream finished
 
 
 @dataclass

@@ -191,6 +191,13 @@ class CostModel:
     def aux_rebuild(self, count: int = 1) -> None:
         self.charge(CostEvent.AUX_REBUILDS, count)
 
+    # -- scheduler / server front end ----------------------------------------
+    def query_abandoned(self, count: int = 1) -> None:
+        """Record ``count`` queries cancelled before their stream
+        finished (zero-priced: abandoning a result must not perturb
+        priced cost comparisons)."""
+        self.charge(CostEvent.QUERIES_ABANDONED, count)
+
     # -- loaded-engine binary pages ------------------------------------------
     def deserialize(self, nattrs: int) -> None:
         self.charge(CostEvent.DESERIALIZE, nattrs)

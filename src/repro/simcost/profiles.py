@@ -91,6 +91,11 @@ class CostProfile:
     rows_rejected: float = 0.0
     io_retries: float = 0.0
     aux_rebuilds: float = 0.0
+    # Scheduler observability: queries cancelled before their stream
+    # finished (cursor early-close, client disconnect, session close).
+    # Free of virtual time so abandoning a stream never perturbs priced
+    # comparisons.
+    queries_abandoned: float = 0.0
 
     def rate(self, event: CostEvent) -> float:
         """The price of one unit of ``event`` under this profile."""
